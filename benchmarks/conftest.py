@@ -1,0 +1,22 @@
+"""Shared benchmark context: one set of trained graphs reused everywhere.
+
+Benchmarks run the evaluation harness at the ``fast`` profile (scaled-down
+graphs, reduced epoch budgets). Each benchmark prints the regenerated
+table/figure so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's evaluation section end to end.
+"""
+
+import pytest
+
+from repro.evaluation import EvalContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return EvalContext(profile="fast")
+
+
+def show(result):
+    """Print a rendered experiment under the benchmark output."""
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the Sec. VI-C hyper-parameter ablation (C x S)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import ablation_cs
+
+
+def test_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: ablation_cs.run(
+            ctx, class_counts=(1, 2, 3, 4), subgraph_counts=(8, 12, 16, 20)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    cols = result.as_dict()
+    # GCoD beats AWB-GCN at every point of the sweep (paper: 1.8x-2.8x).
+    assert min(cols["speedup vs awb"]) > 1.0

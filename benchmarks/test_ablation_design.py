@@ -1,0 +1,19 @@
+"""Benchmark: design-choice ablations (forwarding / branches / steps)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import ablation_design
+
+
+def test_ablation_design(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: ablation_design.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    cols = result.as_dict()
+    for i, variant in enumerate(cols["variant"]):
+        # No ablated variant should be faster than the full design, and
+        # removing forwarding may only add off-chip traffic.
+        assert cols["latency vs full"][i] >= 0.99, (variant, i)
+        if variant == "w/o weight forwarding":
+            assert cols["offchip vs full"][i] >= 1.0

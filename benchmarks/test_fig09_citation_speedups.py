@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 9 (citation-graph speedups, 4 models)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import fig09_citation_speedups
+
+
+def test_fig09(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: fig09_citation_speedups.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    cols = result.as_dict()
+    # Shape checks across every (model, dataset) cell:
+    for i in range(len(cols["model"])):
+        assert cols["gcod"][i] > cols["awb-gcn"][i]  # GCoD beats AWB-GCN
+        assert cols["gcod"][i] > cols["hygcn"][i]  # ... and HyGCN
+        assert cols["gcod-8bit"][i] > cols["gcod"][i]  # 8-bit beats 32-bit
+        assert cols["gcod"][i] > 100.0  # orders of magnitude over CPU

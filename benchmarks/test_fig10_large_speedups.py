@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 10 (large-graph speedups incl. ResGCN)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import fig10_large_speedups
+
+
+def test_fig10(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: fig10_large_speedups.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    cols = result.as_dict()
+    for i in range(len(cols["model"])):
+        assert cols["gcod"][i] > cols["awb-gcn"][i]
+        assert cols["gcod-8bit"][i] > cols["gcod"][i]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 12 (energy breakdown)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import fig12_energy
+
+
+def test_fig12(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: fig12_energy.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    comb_wins = 0
+    for row in result.rows:
+        if sum(row[2:5]) > sum(row[5:8]):
+            comb_wins += 1
+    # The paper's observation: after GCoD, combination (not the former
+    # aggregation bottleneck) consumes most of the energy — true for the
+    # bulk of (model, dataset) cells (edge-heavy Reddit can flip it).
+    assert comb_wins >= len(result.rows) * 0.6

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Tab. VI (speedup breakdown)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import tab06_breakdown
+
+
+def test_tab06(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: tab06_breakdown.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    cols = result.as_dict()
+    for dataset in result.headers[1:]:
+        awb, accel, with_sp, with_quant = cols[dataset]
+        assert accel > awb  # two-pronged architecture beats AWB-GCN
+        assert with_quant > with_sp  # quantization compounds

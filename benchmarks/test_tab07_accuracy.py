@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Tab. VII (accuracy vs compression baselines)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import tab07_accuracy
+
+
+def test_tab07(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: tab07_accuracy.run(
+            ctx, models=("gcn",), datasets=("cora", "citeseer")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    cols = result.as_dict()
+    for i in range(len(cols["model"])):
+        # GCoD stays within noise of vanilla (paper: matches or improves).
+        assert cols["gcod"][i] >= cols["vanilla"][i] - 5.0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the descriptive tables (Tabs. I-V)."""
+
+from conftest import show
+
+from repro.evaluation.experiments import tab03_datasets, tab04_models, tab05_systems
+
+
+def test_tab03(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: tab03_datasets.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    assert len(result.rows) == 6
+
+
+def test_tab04(benchmark):
+    result = benchmark.pedantic(tab04_models.run, rounds=1, iterations=1)
+    show(result)
+
+
+def test_tab05(benchmark):
+    result = benchmark.pedantic(tab05_systems.run, rounds=1, iterations=1)
+    show(result)

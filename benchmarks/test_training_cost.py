@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Sec. IV-B2 training-cost accounting."""
+
+from conftest import show
+
+from repro.evaluation.experiments import training_cost
+
+
+def test_training_cost(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: training_cost.run(ctx), rounds=1, iterations=1
+    )
+    show(result)
+    cols = result.as_dict()
+    # Early-bird must fire well before the epoch budget.
+    for eb, pre in zip(cols["EB epoch"], cols["pretrain epochs"]):
+        assert eb != "-" and int(eb) <= int(pre)

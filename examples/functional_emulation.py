@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Behavioral emulation: execute a GCN exactly as the two-pronged accelerator.
+
+Trains a GCN with GCoD, then *executes* inference the way the hardware
+schedules it — denser chunks over diagonal blocks, the sparser branch
+walking the off-diagonal CSC with query-based weight forwarding — and
+verifies the result is numerically identical to the mathematical reference
+while reporting the measured (not assumed) hardware-relevant quantities:
+forwarding rate, chunk balance, skipped columns. Finishes with the
+event-driven cycle simulation of the same aggregation.
+"""
+
+import numpy as np
+
+from repro import GCoDConfig, load_dataset, run_gcod
+from repro.hardware import extract_workload
+from repro.hardware.event_sim import simulate_aggregation
+from repro.hardware.functional import execute_gcn, reference_gcn
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.25, seed=0)
+    config = GCoDConfig(pretrain_epochs=50, retrain_epochs=30,
+                        admm_iterations=2, admm_inner_steps=8)
+    result = run_gcod(graph, "gcn", config)
+    trained = result.final_graph
+
+    # Export the trained model's weights into plain matrices.
+    weights = [layer.weight.data for layer in result.model.layers]
+
+    logits, traces = execute_gcn(trained, result.layout, weights)
+    reference = reference_gcn(trained, weights)
+    max_err = float(np.abs(logits - reference).max())
+    print(f"two-pronged execution vs reference: max |err| = {max_err:.2e}")
+    assert max_err < 1e-8
+
+    preds = logits.argmax(axis=1)
+    acc = (preds[trained.test_mask] == trained.labels[trained.test_mask]).mean()
+    print(f"test accuracy through the emulated accelerator: {acc:.3f}")
+
+    for i, trace in enumerate(traces):
+        print(f"\nlayer {i}:")
+        print(f"  denser-branch MACs per chunk: {trace.dense_macs_per_chunk}")
+        print(f"  chunk balance (mean/max):     {trace.chunk_balance():.3f}")
+        print(f"  sparser-branch MACs:          {trace.sparse_macs}")
+        print(f"  columns skipped (structural): {trace.columns_skipped}"
+              f" / {trace.columns_processed + trace.columns_skipped}")
+        print(f"  weight-forwarding rate:       {trace.forward_rate:.2f}"
+              f"  (paper: ~0.63)")
+
+    # Cycle-approximate event simulation of the aggregation phase.
+    wl = extract_workload(trained, result.layout, "gcn")
+    sub_workloads = result.layout.subgraph_workloads(trained.adj)
+    sub_classes = [s.class_id for s in result.layout.spans]
+    report = simulate_aggregation(
+        wl, agg_dim=16, layout_tiles=(sub_workloads, sub_classes)
+    )
+    print(f"\nevent-driven aggregation: {report.cycles:.0f} cycles, "
+          f"chunk finish skew {report.finish_skew:.2f} "
+          f"(1.0 = all chunks finish together), "
+          f"{report.events_processed} events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+The sandboxed environment has no network and no ``wheel`` package, so PEP 517
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517``
+(and plain ``pip install -e .`` on modern toolchains) work everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

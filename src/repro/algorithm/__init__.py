@@ -1,0 +1,32 @@
+"""The GCoD split-and-conquer training algorithm (Sec. IV).
+
+Three steps, orchestrated by :func:`run_gcod` / :class:`GCoDTrainer`:
+
+1. partition the graph and pretrain the GCN (with optional early-bird
+   early stopping);
+2. tune the graph — ADMM-driven sparsification plus polarization — and
+   retrain;
+3. structurally sparsify patches and retrain again.
+"""
+
+from repro.algorithm.config import GCoDConfig
+from repro.algorithm.admm import ADMMResult, admm_sparsify_polarize, polarization_loss
+from repro.algorithm.structural import (
+    patch_nnz_counts,
+    structural_sparsify,
+)
+from repro.algorithm.earlybird import EarlyBirdDetector
+from repro.algorithm.pipeline import GCoDResult, GCoDTrainer, run_gcod
+
+__all__ = [
+    "GCoDConfig",
+    "ADMMResult",
+    "admm_sparsify_polarize",
+    "polarization_loss",
+    "patch_nnz_counts",
+    "structural_sparsify",
+    "EarlyBirdDetector",
+    "GCoDResult",
+    "GCoDTrainer",
+    "run_gcod",
+]

@@ -1,0 +1,86 @@
+"""Early-bird ticket detection (Sec. IV-B2, following [45], [46]).
+
+GCoD keeps training costs near standard GCN training by stopping pretraining
+as soon as the "winning subnetwork" stabilizes: at every epoch, prune the
+model's weights to the top-(1-p) fraction by magnitude and compare the
+resulting binary mask with recent epochs' masks. Once the Hamming distance
+stays below a threshold for ``patience`` consecutive epochs, the ticket is
+drawn and pretraining stops (the paper finds this happens within 10-20 of
+400 epochs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def magnitude_mask(model: Module, prune_ratio: float) -> Dict[str, np.ndarray]:
+    """Binary keep-masks for every weight matrix (top (1-ratio) by |w|)."""
+    masks = {}
+    for name, param in model.named_parameters():
+        if param.data.ndim < 2:
+            continue  # biases and norm scales are never pruned
+        flat = np.abs(param.data).ravel()
+        k = int(round(flat.size * (1.0 - prune_ratio)))
+        mask = np.zeros(flat.size, dtype=bool)
+        if k > 0:
+            mask[np.argpartition(flat, -k)[-k:]] = True
+        masks[name] = mask.reshape(param.data.shape)
+    return masks
+
+
+def mask_distance(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]
+) -> float:
+    """Normalized Hamming distance between two mask dictionaries."""
+    total, differing = 0, 0
+    for name in a:
+        if name not in b:
+            continue
+        total += a[name].size
+        differing += int((a[name] != b[name]).sum())
+    return differing / total if total else 0.0
+
+
+class EarlyBirdDetector:
+    """Stateful detector usable as a ``train_model`` epoch callback."""
+
+    def __init__(
+        self,
+        prune_ratio: float = 0.5,
+        threshold: float = 0.10,
+        patience: int = 3,
+        window: int = 5,
+    ):
+        self.prune_ratio = prune_ratio
+        self.threshold = threshold
+        self.patience = patience
+        self.window = window
+        self._masks: List[Dict[str, np.ndarray]] = []
+        self._stable_epochs = 0
+        self.found_epoch: Optional[int] = None
+
+    def __call__(self, epoch: int, model: Module, val_acc: float) -> bool:
+        """Record this epoch's mask; return True when the ticket is drawn."""
+        mask = magnitude_mask(model, self.prune_ratio)
+        self._masks.append(mask)
+        if len(self._masks) > self.window:
+            self._masks.pop(0)
+        if len(self._masks) < 2:
+            return False
+        max_dist = max(
+            mask_distance(mask, earlier) for earlier in self._masks[:-1]
+        )
+        if max_dist < self.threshold:
+            self._stable_epochs += 1
+        else:
+            self._stable_epochs = 0
+        if self._stable_epochs >= self.patience:
+            if self.found_epoch is None:
+                self.found_epoch = epoch
+            return True
+        return False

@@ -1,0 +1,199 @@
+"""The end-to-end GCoD training pipeline (Fig. 3).
+
+Step 1: pretrain the GCN on the partitioned (reordered) graph;
+Step 2: tune the graph (sparsify + polarize) with ADMM, then retrain;
+Step 3: structurally sparsify patches, then retrain.
+
+``run_gcod`` returns a :class:`GCoDResult` holding the graph after every
+step, the block layout, per-step accuracies, and a training-cost accounting
+that reproduces the paper's 0.7x-1.1x overhead claim and its 5%/50%/45%
+per-step cost split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithm.admm import ADMMResult, admm_sparsify_polarize
+from repro.algorithm.config import GCoDConfig
+from repro.algorithm.earlybird import EarlyBirdDetector
+from repro.algorithm.structural import StructuralResult, structural_sparsify
+from repro.graphs.graph import Graph
+from repro.nn.models import build_model
+from repro.nn.models.base import GNNModel, GraphOps
+from repro.nn.training import TrainResult, train_model
+from repro.partition.layout import BlockLayout, partition_graph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class GCoDResult:
+    """Everything produced by one GCoD run."""
+
+    arch: str
+    config: GCoDConfig
+    layout: BlockLayout
+    partitioned_graph: Graph
+    tuned_graph: Graph
+    final_graph: Graph
+    model: GNNModel
+    accuracy_pretrain: float
+    accuracy_after_tuning: float
+    accuracy_final: float
+    admm: ADMMResult
+    structural: StructuralResult
+    pretrain_epochs_run: int
+    early_bird_epoch: Optional[int]
+    cost_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_edge_reduction(self) -> float:
+        """Fraction of original edges removed across steps 2 + 3."""
+        before = self.partitioned_graph.adj.nnz
+        after = self.final_graph.adj.nnz
+        return 1.0 - after / max(before, 1)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"GCoD[{self.arch}] on {self.final_graph.name}: "
+            f"acc {self.accuracy_pretrain:.3f} -> {self.accuracy_final:.3f}, "
+            f"edges kept {1 - self.total_edge_reduction:.1%}, "
+            f"dense fraction {self.layout.dense_fraction(self.final_graph.adj):.1%}, "
+            f"training cost {self.cost_breakdown.get('relative_cost', 0):.2f}x standard"
+        )
+
+
+class GCoDTrainer:
+    """Runs the three GCoD steps; see :func:`run_gcod` for the one-liner."""
+
+    def __init__(self, arch: str = "gcn", config: Optional[GCoDConfig] = None):
+        self.arch = arch
+        self.config = config or GCoDConfig()
+
+    def run(self, graph: Graph) -> GCoDResult:
+        """Execute Steps 1-3 on ``graph`` and return the full result."""
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+
+        # ---------------- Step 1: partition + pretrain --------------------
+        part_graph, layout = partition_graph(
+            graph,
+            num_classes=cfg.num_classes,
+            num_groups=cfg.num_groups,
+            num_subgraphs=cfg.num_subgraphs,
+            rng=rng,
+        )
+        model = build_model(self.arch, part_graph, rng=cfg.seed)
+        detector = (
+            EarlyBirdDetector(
+                prune_ratio=cfg.early_bird_prune_ratio,
+                threshold=cfg.early_bird_threshold,
+                patience=cfg.early_bird_patience,
+            )
+            if cfg.early_bird
+            else None
+        )
+        pretrain = train_model(
+            model,
+            part_graph,
+            epochs=cfg.pretrain_epochs,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+            epoch_callback=detector,
+        )
+
+        # ---------------- Step 2: sparsify + polarize, retrain ------------
+        admm = admm_sparsify_polarize(part_graph, model, cfg)
+        tuned_graph = part_graph.with_adj(admm.pruned_adj)
+        tuned_graph.meta["layout"] = layout
+        model = build_model(self.arch, tuned_graph, rng=cfg.seed)
+        retrain2 = train_model(
+            model,
+            tuned_graph,
+            epochs=cfg.retrain_epochs,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+        )
+
+        # ---------------- Step 3: structural sparsify, retrain ------------
+        structural = structural_sparsify(
+            tuned_graph.adj,
+            layout=layout,
+            patch_threshold=cfg.patch_threshold,
+            patch_size=cfg.auto_patch_size(tuned_graph.num_nodes),
+            off_diagonal_only=cfg.off_diagonal_only,
+        )
+        final_graph = tuned_graph.with_adj(structural.pruned_adj)
+        final_graph.meta["layout"] = layout
+        model = build_model(self.arch, final_graph, rng=cfg.seed)
+        retrain3 = train_model(
+            model,
+            final_graph,
+            epochs=cfg.retrain_epochs,
+            lr=cfg.lr,
+            weight_decay=cfg.weight_decay,
+        )
+
+        cost = self._cost_breakdown(pretrain, admm, retrain2, retrain3)
+        return GCoDResult(
+            arch=self.arch,
+            config=cfg,
+            layout=layout,
+            partitioned_graph=part_graph,
+            tuned_graph=tuned_graph,
+            final_graph=final_graph,
+            model=model,
+            accuracy_pretrain=pretrain.test_accuracy,
+            accuracy_after_tuning=retrain2.test_accuracy,
+            accuracy_final=retrain3.test_accuracy,
+            admm=admm,
+            structural=structural,
+            pretrain_epochs_run=pretrain.epochs_run,
+            early_bird_epoch=detector.found_epoch if detector else None,
+            cost_breakdown=cost,
+        )
+
+    def _cost_breakdown(
+        self,
+        pretrain: TrainResult,
+        admm: ADMMResult,
+        retrain2: TrainResult,
+        retrain3: TrainResult,
+    ) -> Dict[str, float]:
+        """Account training cost in epoch-equivalents (Sec. IV-B2).
+
+        One ADMM inner step costs about one forward/backward, i.e. one
+        epoch-equivalent. Retraining after pruning touches only the winning
+        subnetwork, so its per-epoch cost is discounted by the kept-edge
+        fraction on the aggregation side (~the dominant cost for GCNs).
+        """
+        cfg = self.config
+        admm_epochs = cfg.admm_iterations * cfg.admm_inner_steps
+        kept = admm.kept_edge_fraction
+        step1 = float(pretrain.epochs_run)
+        step2 = admm_epochs + retrain2.epochs_run * (0.5 + 0.5 * kept)
+        step3 = retrain3.epochs_run * (0.5 + 0.5 * kept)
+        total = step1 + step2 + step3
+        standard = float(cfg.pretrain_epochs)
+        return {
+            "step1_epochs": step1,
+            "step2_epochs": step2,
+            "step3_epochs": step3,
+            "total_epochs": total,
+            "standard_epochs": standard,
+            "relative_cost": total / standard,
+            "step1_fraction": step1 / total,
+            "step2_fraction": step2 / total,
+            "step3_fraction": step3 / total,
+        }
+
+
+def run_gcod(
+    graph: Graph, arch: str = "gcn", config: Optional[GCoDConfig] = None
+) -> GCoDResult:
+    """Run the full GCoD pipeline on ``graph`` with model ``arch``."""
+    return GCoDTrainer(arch=arch, config=config).run(graph)

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <name>``
+    Run one paper experiment (``fig04``, ``fig09``, ``fig10``, ``fig11``,
+    ``fig12``, ``tab03``, ``tab04``, ``tab05``, ``tab06``, ``tab07``,
+    ``ablation-cs``, ``ablation-design``, ``training-cost``) and print the
+    regenerated table/figure.
+``train <dataset>``
+    Run the full GCoD pipeline on one dataset and print the summary.
+``simulate <dataset>``
+    Map a GCoD-trained graph onto every platform and print the speedups.
+``report``
+    Run every experiment and write a combined report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.evaluation import EvalContext
+from repro.evaluation.experiments import (
+    ablation_cs,
+    ablation_design,
+    fig04_visualization,
+    fig09_citation_speedups,
+    fig10_large_speedups,
+    fig11_memory,
+    fig12_energy,
+    reordering_compare,
+    tab03_datasets,
+    tab04_models,
+    tab05_systems,
+    tab06_breakdown,
+    tab07_accuracy,
+    training_cost,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig04": fig04_visualization.run,
+    "fig09": fig09_citation_speedups.run,
+    "fig10": fig10_large_speedups.run,
+    "fig11": fig11_memory.run,
+    "fig12": fig12_energy.run,
+    "tab03": tab03_datasets.run,
+    "tab04": tab04_models.run,
+    "tab05": tab05_systems.run,
+    "tab06": tab06_breakdown.run,
+    "tab07": tab07_accuracy.run,
+    "ablation-cs": ablation_cs.run,
+    "reordering": reordering_compare.run,
+    "ablation-design": ablation_design.run,
+    "training-cost": training_cost.run,
+}
+
+
+def _cmd_experiment(args, ctx: EvalContext) -> int:
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    result = EXPERIMENTS[args.name](ctx)
+    print(result.render())
+    return 0
+
+
+def _cmd_train(args, ctx: EvalContext) -> int:
+    result = ctx.gcod(args.dataset, args.arch)
+    print(result.summary())
+    print(f"early-bird epoch: {result.early_bird_epoch}")
+    print(result.layout.describe())
+    return 0
+
+
+def _cmd_simulate(args, ctx: EvalContext) -> int:
+    from repro.utils.ascii_plot import bar_chart
+
+    platforms = list(ctx.platforms())
+    speedups = ctx.speedups_over_cpu(args.dataset, args.arch, platforms)
+    print(bar_chart(platforms, [speedups[p] for p in platforms],
+                    title=f"{args.dataset}/{args.arch}: speedup over PyG-CPU"))
+    return 0
+
+
+def _cmd_report(args, ctx: EvalContext) -> int:
+    from repro.evaluation.report import generate_report
+
+    text = generate_report(ctx)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCoD (HPCA 2022) reproduction toolkit",
+    )
+    parser.add_argument("--profile", choices=("fast", "full"), default="fast",
+                        help="experiment scale profile")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run one paper experiment")
+    p_exp.add_argument("name", help=", ".join(sorted(EXPERIMENTS)))
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_train = sub.add_parser("train", help="run the GCoD pipeline")
+    p_train.add_argument("dataset")
+    p_train.add_argument("--arch", default="gcn")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_sim = sub.add_parser("simulate", help="simulate all platforms")
+    p_sim.add_argument("dataset")
+    p_sim.add_argument("--arch", default="gcn")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rep = sub.add_parser("report", help="run everything, write a report")
+    p_rep.add_argument("--output", "-o", default=None)
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    ctx = EvalContext(profile=args.profile)
+    return args.func(args, ctx)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

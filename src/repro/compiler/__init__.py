@@ -1,0 +1,24 @@
+"""Software-hardware interface pipeline (Fig. 8).
+
+``parse`` extracts layer dimensions from a model + graph; ``allocate``
+distributes PEs / buffers / bandwidth across chunks proportional to their
+workloads; ``emit_templates`` fills the parameterized hardware templates;
+``compile_accelerator`` chains all three into a deployable configuration.
+"""
+
+from repro.compiler.parser import NetworkDescription, ParsedLayer, parse_network
+from repro.compiler.allocator import ChunkAllocation, ResourceAllocation, allocate
+from repro.compiler.templates import emit_templates
+from repro.compiler.compile import CompiledAccelerator, compile_accelerator
+
+__all__ = [
+    "NetworkDescription",
+    "ParsedLayer",
+    "parse_network",
+    "ChunkAllocation",
+    "ResourceAllocation",
+    "allocate",
+    "emit_templates",
+    "CompiledAccelerator",
+    "compile_accelerator",
+]

@@ -1,0 +1,125 @@
+"""Complexity-proportional resource allocation (Sec. V-B, "Denser Branch").
+
+Given the measured per-class workloads from a :class:`BlockLayout`, the
+allocator assigns each denser-branch chunk (and the single sparser-branch
+sub-accelerator) PEs, on-chip memory, and off-chip bandwidth proportional to
+its workload: MACs for PEs; feature-map + weight footprints for memory and
+bandwidth — exactly the paper's two allocation rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class ChunkAllocation:
+    """Resources handed to one sub-accelerator."""
+
+    chunk_id: int  # class id, or -1 for the sparser branch
+    pes: int
+    buffer_bytes: int
+    bandwidth_gbps: float
+    workload_macs: float
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """The complete split of the hardware budget."""
+
+    chunks: tuple  # ChunkAllocation per class (denser branch)
+    sparser: ChunkAllocation
+    total_pes: int
+    total_buffer_bytes: int
+    total_bandwidth_gbps: float
+
+    def all_allocations(self) -> List[ChunkAllocation]:
+        """Denser chunks followed by the sparser-branch allocation."""
+        return list(self.chunks) + [self.sparser]
+
+    def validate(self) -> None:
+        """Raise :class:`CompileError` if the budget is exceeded."""
+        allocs = self.all_allocations()
+        if sum(a.pes for a in allocs) > self.total_pes:
+            raise CompileError("PE allocation exceeds budget")
+        if sum(a.buffer_bytes for a in allocs) > self.total_buffer_bytes:
+            raise CompileError("buffer allocation exceeds budget")
+        if sum(a.bandwidth_gbps for a in allocs) > self.total_bandwidth_gbps * (
+            1 + 1e-9
+        ):
+            raise CompileError("bandwidth allocation exceeds budget")
+
+
+def _proportional_split(total: int, weights: np.ndarray, minimum: int) -> np.ndarray:
+    """Integer split of ``total`` proportional to ``weights`` (>= minimum each)."""
+    weights = np.maximum(np.asarray(weights, dtype=np.float64), 1e-12)
+    raw = weights / weights.sum() * total
+    out = np.maximum(np.floor(raw).astype(np.int64), minimum)
+    # Trim overshoot from the largest shares, then hand leftover to the
+    # largest remainders (largest-remainder apportionment).
+    while out.sum() > total:
+        out[int(np.argmax(out))] -= 1
+    leftovers = total - out.sum()
+    if leftovers > 0:
+        order = np.argsort(-(raw - np.floor(raw)))
+        for i in range(int(leftovers)):
+            out[order[i % len(out)]] += 1
+    return out
+
+
+def allocate(
+    dense_macs_per_class: Sequence[float],
+    sparse_macs: float,
+    dense_bytes_per_class: Sequence[float],
+    sparse_bytes: float,
+    total_pes: int = 4096,
+    total_buffer_bytes: int = 42 * 2**20,
+    total_bandwidth_gbps: float = 460.0,
+) -> ResourceAllocation:
+    """Allocate the hardware budget over chunks + the sparser branch."""
+    dense_macs = np.asarray(dense_macs_per_class, dtype=np.float64)
+    if dense_macs.size == 0:
+        raise CompileError("need at least one denser-branch class")
+    if total_pes < dense_macs.size + 1:
+        raise CompileError("not enough PEs for one per sub-accelerator")
+
+    mac_weights = np.concatenate([dense_macs, [max(sparse_macs, 0.0)]])
+    pe_split = _proportional_split(total_pes, mac_weights, minimum=1)
+
+    byte_weights = np.concatenate(
+        [np.asarray(dense_bytes_per_class, dtype=np.float64), [max(sparse_bytes, 0.0)]]
+    )
+    buf_split = _proportional_split(total_buffer_bytes, byte_weights, minimum=1024)
+    bw_weights = byte_weights / max(byte_weights.sum(), 1e-12)
+
+    chunks = tuple(
+        ChunkAllocation(
+            chunk_id=c,
+            pes=int(pe_split[c]),
+            buffer_bytes=int(buf_split[c]),
+            bandwidth_gbps=float(bw_weights[c] * total_bandwidth_gbps),
+            workload_macs=float(dense_macs[c]),
+        )
+        for c in range(dense_macs.size)
+    )
+    sparser = ChunkAllocation(
+        chunk_id=-1,
+        pes=int(pe_split[-1]),
+        buffer_bytes=int(buf_split[-1]),
+        bandwidth_gbps=float(bw_weights[-1] * total_bandwidth_gbps),
+        workload_macs=float(sparse_macs),
+    )
+    allocation = ResourceAllocation(
+        chunks=chunks,
+        sparser=sparser,
+        total_pes=total_pes,
+        total_buffer_bytes=total_buffer_bytes,
+        total_bandwidth_gbps=total_bandwidth_gbps,
+    )
+    allocation.validate()
+    return allocation

@@ -1,0 +1,78 @@
+"""End-to-end hardware compilation: parse -> allocate -> emit (Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.allocator import ResourceAllocation, allocate
+from repro.compiler.parser import NetworkDescription, parse_network
+from repro.compiler.templates import emit_templates
+from repro.graphs.graph import Graph
+from repro.hardware.accelerators.gcod import GCoDAccelerator
+from repro.hardware.workload import GCNWorkload, extract_workload
+from repro.partition.layout import BlockLayout
+
+
+@dataclass
+class CompiledAccelerator:
+    """A compiled GCoD configuration, ready to "deploy" (simulate)."""
+
+    network: NetworkDescription
+    allocation: ResourceAllocation
+    template: str
+    accelerator: GCoDAccelerator
+    workload: GCNWorkload
+
+    def run(self):
+        """Simulate one inference of the compiled design."""
+        return self.accelerator.run(self.workload)
+
+
+def compile_accelerator(
+    graph: Graph,
+    arch: str = "gcn",
+    layout: Optional[BlockLayout] = None,
+    bits: int = 32,
+    total_pes: Optional[int] = None,
+) -> CompiledAccelerator:
+    """Compile a GCoD accelerator for ``graph`` + ``arch``.
+
+    ``graph`` should be a GCoD-trained (partitioned) graph so the allocator
+    sees the per-class workloads; an unpartitioned graph compiles to a
+    single-chunk design.
+    """
+    layout = layout or graph.meta.get("layout")
+    network = parse_network(graph, arch=arch)
+    workload = extract_workload(graph, layout=layout, arch=arch)
+    adj = workload.adjacency
+    hidden = network.hidden_dim
+
+    dense_per_class = list(adj.dense_nnz_per_class) or [adj.nnz]
+    dense_macs = [nnz * hidden for nnz in dense_per_class]
+    sparse_macs = adj.sparse_nnz * hidden if adj.dense_nnz_per_class else 0.0
+    # Memory/bandwidth weights: feature-map + weight bytes per class scale
+    # with that class's share of nodes (approximated by its nnz share).
+    total_nnz = max(adj.nnz, 1)
+    feat_bytes = workload.num_nodes * network.feature_dim * 4
+    dense_bytes = [feat_bytes * (nnz / total_nnz) for nnz in dense_per_class]
+    sparse_bytes = feat_bytes * (adj.sparse_nnz / total_nnz) + adj.csc_bytes
+
+    accelerator = GCoDAccelerator(bits=bits, num_pes=total_pes)
+    allocation = allocate(
+        dense_macs,
+        sparse_macs,
+        dense_bytes,
+        sparse_bytes,
+        total_pes=accelerator.pes.num_pes,
+        total_buffer_bytes=42 * 2**20,
+        total_bandwidth_gbps=accelerator.memory.bandwidth_gbps,
+    )
+    template = emit_templates(network, allocation, bits=bits)
+    return CompiledAccelerator(
+        network=network,
+        allocation=allocation,
+        template=template,
+        accelerator=accelerator,
+        workload=workload,
+    )

@@ -1,0 +1,78 @@
+"""Network parser: model + graph -> layer dimensions (Fig. 8's "Parser").
+
+The parser inspects a built model's parameter shapes (GCN Conv / Linear) and
+the target graph to produce the dimension tuple the hardware compiler needs:
+``Aggregation, Combination, Partition, FC, N, M, F, H, O`` in the paper's
+notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graphs.graph import Graph
+from repro.hardware.workload import LayerSpec, layer_specs
+from repro.nn.models import hidden_dim_for
+
+
+@dataclass(frozen=True)
+class ParsedLayer:
+    """One layer as seen by the hardware compiler."""
+
+    index: int
+    kind: str  # "gcn-conv" | "linear"
+    f_in: int
+    f_out: int
+    has_aggregation: bool
+
+
+@dataclass(frozen=True)
+class NetworkDescription:
+    """Everything the compiler needs about the network and graph."""
+
+    arch: str
+    num_nodes: int  # N
+    num_edges: int  # M
+    feature_dim: int  # F
+    hidden_dim: int  # H
+    output_dim: int  # O
+    layers: tuple
+
+    @property
+    def num_layers(self) -> int:
+        """Number of parsed layers."""
+        return len(self.layers)
+
+
+def parse_network(
+    graph: Graph, arch: str = "gcn", hidden: Optional[int] = None
+) -> NetworkDescription:
+    """Parse model ``arch`` against ``graph`` into a network description."""
+    hidden = hidden or hidden_dim_for(graph.name)
+    specs: List[LayerSpec] = layer_specs(
+        arch,
+        graph.num_features,
+        hidden,
+        max(graph.num_classes, 2),
+        x_density=1.0,
+    )
+    layers = tuple(
+        ParsedLayer(
+            index=i,
+            kind="gcn-conv" if spec.aggregate else "linear",
+            f_in=spec.f_in,
+            f_out=spec.f_out,
+            has_aggregation=spec.aggregate,
+        )
+        for i, spec in enumerate(specs)
+    )
+    return NetworkDescription(
+        arch=arch,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        feature_dim=graph.num_features,
+        hidden_dim=hidden,
+        output_dim=max(graph.num_classes, 2),
+        layers=layers,
+    )

@@ -1,0 +1,43 @@
+"""QAT baseline [8]: quantization-aware training via weight projection.
+
+After every optimizer step the weights are projected onto the int-``bits``
+grid, so the optimizer always sees quantization error during training (the
+"quant noise" mechanism), and the final weights are exactly representable in
+``bits`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.compression.quantize import quantize_dequantize
+from repro.graphs.graph import Graph
+from repro.nn.models import build_model
+from repro.nn.models.base import GNNModel
+from repro.nn.training import TrainResult, train_model
+
+
+def _project_weights(model: GNNModel, bits: int) -> None:
+    """Snap every weight matrix onto the quantization grid, in place."""
+    for _, param in model.named_parameters():
+        if param.data.ndim >= 2:
+            param.data = quantize_dequantize(param.data, bits)
+
+
+def train_qat(
+    graph: Graph,
+    arch: str = "gcn",
+    bits: int = 8,
+    epochs: int = 200,
+    seed: int = 0,
+) -> Tuple[TrainResult, GNNModel]:
+    """Train ``arch`` on ``graph`` with int-``bits`` weight quantization."""
+    model = build_model(arch, graph, rng=seed)
+
+    def project(epoch, m, val_acc):
+        _project_weights(m, bits)
+        return False
+
+    result = train_model(model, graph, epochs=epochs, epoch_callback=project)
+    _project_weights(model, bits)
+    return result, model

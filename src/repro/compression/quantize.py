@@ -1,0 +1,57 @@
+"""Uniform fake quantization with a straight-through estimator (STE).
+
+Shared by the QAT / Degree-Quant baselines and by the GCoD (8-bit)
+accelerator variant, whose 4x bandwidth saving (Tab. V footnote) comes from
+exactly this 32-bit -> 8-bit conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, _make
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Symmetric uniform quantizer description."""
+
+    bits: int = 8
+
+    @property
+    def levels(self) -> int:
+        """Number of representable magnitudes on each side of zero."""
+        return 2 ** (self.bits - 1) - 1
+
+    def scale_for(self, values: np.ndarray) -> float:
+        """Per-tensor scale mapping the max magnitude onto the last level."""
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        return max_abs / self.levels if max_abs > 0 else 1.0
+
+
+def quantize_dequantize(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Round ``values`` to the nearest int-``bits`` grid point (symmetric)."""
+    spec = QuantSpec(bits)
+    scale = spec.scale_for(values)
+    q = np.clip(np.round(values / scale), -spec.levels, spec.levels)
+    return q * scale
+
+
+def quantize_ste(x: Tensor, bits: int = 8, row_mask: np.ndarray = None) -> Tensor:
+    """Fake-quantize ``x`` in the forward pass; identity gradient backward.
+
+    ``row_mask`` (optional, boolean per row) exempts rows from quantization
+    — Degree-Quant's protection of high-in-degree nodes.
+    """
+    data = quantize_dequantize(x.data, bits)
+    if row_mask is not None:
+        mask = np.asarray(row_mask, dtype=bool)
+        data = np.where(mask[:, None], x.data, data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x.accumulate_grad(grad)
+
+    return _make(data, (x,), backward)

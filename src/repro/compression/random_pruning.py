@@ -1,0 +1,49 @@
+"""RP baseline: random edge pruning at a matched ratio (Tab. VII)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.nn.models import build_model
+from repro.nn.training import TrainResult, train_model
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def random_prune_edges(
+    adj: sp.spmatrix, prune_ratio: float, rng: SeedLike = None
+) -> sp.csr_matrix:
+    """Remove ``prune_ratio`` of undirected edges uniformly at random.
+
+    Both stored triangles of a pruned edge are removed, so the result stays
+    symmetric.
+    """
+    gen = ensure_rng(rng)
+    coo = sp.coo_matrix(adj)
+    n = coo.shape[0]
+    lo = np.minimum(coo.row, coo.col)
+    hi = np.maximum(coo.row, coo.col)
+    keys = lo * n + hi
+    unique_keys, pair_id = np.unique(keys, return_inverse=True)
+    keep_pairs = gen.random(unique_keys.size) >= prune_ratio
+    keep = keep_pairs[pair_id]
+    return sp.csr_matrix(
+        (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=coo.shape
+    )
+
+
+def train_random_pruned(
+    graph: Graph,
+    arch: str = "gcn",
+    prune_ratio: float = 0.10,
+    epochs: int = 200,
+    seed: int = 0,
+) -> Tuple[TrainResult, Graph]:
+    """Prune edges at random, retrain from scratch, report accuracy."""
+    pruned = graph.with_adj(random_prune_edges(graph.adj, prune_ratio, rng=seed))
+    model = build_model(arch, pruned, rng=seed)
+    result = train_model(model, pruned, epochs=epochs)
+    return result, pruned

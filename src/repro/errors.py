@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(ReproError):
+    """An array or matrix had an incompatible shape."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or was given invalid inputs."""
+
+
+class CompileError(ReproError):
+    """The hardware compiler could not map the model onto the accelerator."""

@@ -1,0 +1,181 @@
+"""Shared experiment context: dataset/GCoD-run caching and result plumbing.
+
+Running GCoD training is the expensive part of every experiment, and several
+tables need the same trained graphs, so :class:`EvalContext` memoizes
+dataset generation and GCoD pipeline runs per (dataset, arch) within a
+process. The ``fast`` profile (default) uses reduced scales and epoch
+budgets so the whole harness completes in minutes; ``full`` uses the paper's
+settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithm import GCoDConfig, GCoDResult, run_gcod
+from repro.graphs import Graph, load_dataset
+from repro.hardware import GCNWorkload, extract_workload
+from repro.hardware.accelerators import all_platforms
+from repro.utils.tables import format_table
+
+CITATION_DATASETS = ("cora", "citeseer", "pubmed")
+LARGE_DATASETS = ("nell", "reddit")
+ALL_DATASETS = CITATION_DATASETS + LARGE_DATASETS + ("ogbn-arxiv",)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    extra_text: str = ""
+
+    def render(self, float_fmt: str = ".2f") -> str:
+        """The experiment as printable text."""
+        table = format_table(self.headers, self.rows, title=self.name,
+                             float_fmt=float_fmt)
+        if self.extra_text:
+            return table + "\n\n" + self.extra_text
+        return table
+
+    def as_dict(self) -> Dict[str, List]:
+        """Column-oriented dict of the rows (for programmatic use)."""
+        cols: Dict[str, List] = {h: [] for h in self.headers}
+        for row in self.rows:
+            for h, v in zip(self.headers, row):
+                cols[h].append(v)
+        return cols
+
+
+@dataclass
+class EvalContext:
+    """Caches graphs, GCoD runs, and platform models across experiments."""
+
+    profile: str = "fast"
+    seed: int = 0
+    dataset_scales: Dict[str, float] = field(default_factory=dict)
+    _graphs: Dict[str, Graph] = field(default_factory=dict, repr=False)
+    _gcod: Dict[Tuple[str, str], GCoDResult] = field(
+        default_factory=dict, repr=False
+    )
+    _platforms: Optional[dict] = field(default=None, repr=False)
+
+    # fast-profile scales chosen so each dataset trains in seconds while
+    # keeping enough structure for the partitioner to be meaningful.
+    _FAST_SCALES = {
+        "cora": 0.3,
+        "citeseer": 0.25,
+        "pubmed": 0.05,
+        "nell": 0.015,
+        "ogbn-arxiv": 0.006,
+        "reddit": 0.004,
+    }
+
+    def scale_for(self, dataset: str) -> Optional[float]:
+        """The generation scale used for ``dataset`` under this profile."""
+        if dataset in self.dataset_scales:
+            return self.dataset_scales[dataset]
+        if self.profile == "fast":
+            return self._FAST_SCALES.get(dataset)
+        return None  # full profile: each spec's default scale
+
+    def gcod_config(self) -> GCoDConfig:
+        """The GCoD hyper-parameters for this profile."""
+        if self.profile == "fast":
+            return GCoDConfig(
+                pretrain_epochs=30,
+                retrain_epochs=20,
+                admm_iterations=2,
+                admm_inner_steps=6,
+                seed=self.seed,
+            )
+        return GCoDConfig(seed=self.seed)
+
+    def graph(self, dataset: str) -> Graph:
+        """The (cached) synthetic graph for ``dataset``."""
+        if dataset not in self._graphs:
+            self._graphs[dataset] = load_dataset(
+                dataset, scale=self.scale_for(dataset), seed=self.seed
+            )
+        return self._graphs[dataset]
+
+    def gcod(self, dataset: str, arch: str = "gcn") -> GCoDResult:
+        """The (cached) GCoD pipeline result for (dataset, arch)."""
+        key = (dataset, arch)
+        if key not in self._gcod:
+            config = self.gcod_config()
+            if arch == "resgcn":  # 28 layers is too deep for fast training
+                config = replace(
+                    config, pretrain_epochs=min(config.pretrain_epochs, 15),
+                    retrain_epochs=min(config.retrain_epochs, 10),
+                )
+            self._gcod[key] = run_gcod(self.graph(dataset), arch, config)
+        return self._gcod[key]
+
+    def platforms(self) -> dict:
+        """The (cached) platform models, keyed by name."""
+        if self._platforms is None:
+            self._platforms = all_platforms()
+        return self._platforms
+
+    # ------------------------------------------------------------------
+    # workload helpers
+    # ------------------------------------------------------------------
+    def baseline_workload(
+        self, dataset: str, arch: str = "gcn", **kw
+    ) -> GCNWorkload:
+        """Paper-scale workload of the untreated graph (for baselines)."""
+        return extract_workload(
+            self.graph(dataset), None, arch, paper_scale=True, **kw
+        )
+
+    def gcod_workload(
+        self, dataset: str, arch: str = "gcn", stage: str = "final", **kw
+    ) -> GCNWorkload:
+        """Paper-scale workload of a GCoD-trained graph.
+
+        ``stage`` picks the pipeline stage: ``partitioned`` (Step 1 only,
+        i.e. the accelerator without sparsification), ``tuned`` (Step 2), or
+        ``final`` (all three steps).
+        """
+        result = self.gcod(dataset, arch)
+        graph = {
+            "partitioned": result.partitioned_graph,
+            "tuned": result.tuned_graph,
+            "final": result.final_graph,
+        }[stage]
+        return extract_workload(graph, result.layout, arch, paper_scale=True, **kw)
+
+    def speedups_over_cpu(
+        self,
+        dataset: str,
+        arch: str,
+        platform_names: Sequence[str],
+    ) -> Dict[str, float]:
+        """Normalized speedups vs PyG-CPU for the named platforms (Fig. 9/10)."""
+        plats = self.platforms()
+        wl_base = self.baseline_workload(dataset, arch)
+        cpu = plats["pyg-cpu"].run(wl_base)
+        out = {}
+        for name in platform_names:
+            if name.startswith("gcod"):
+                wl = self.gcod_workload(dataset, arch, stage="final")
+            else:
+                wl = wl_base
+            report = plats[name].run(wl)
+            out[name] = cpu.latency_s / report.latency_s
+        return out
+
+
+_DEFAULT: Optional[EvalContext] = None
+
+
+def default_context(profile: str = "fast") -> EvalContext:
+    """A process-wide shared context (so benchmarks reuse trained graphs)."""
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT.profile != profile:
+        _DEFAULT = EvalContext(profile=profile)
+    return _DEFAULT

@@ -1,0 +1,35 @@
+"""One module per paper table/figure; each exposes ``run(context) -> result``."""
+
+from repro.evaluation.experiments import (
+    ablation_design,
+    ablation_cs,
+    fig04_visualization,
+    fig09_citation_speedups,
+    fig10_large_speedups,
+    fig11_memory,
+    fig12_energy,
+    reordering_compare,
+    tab03_datasets,
+    tab04_models,
+    tab05_systems,
+    tab06_breakdown,
+    tab07_accuracy,
+    training_cost,
+)
+
+__all__ = [
+    "ablation_cs",
+    "ablation_design",
+    "fig04_visualization",
+    "fig09_citation_speedups",
+    "fig10_large_speedups",
+    "fig11_memory",
+    "fig12_energy",
+    "reordering_compare",
+    "tab03_datasets",
+    "tab04_models",
+    "tab05_systems",
+    "tab06_breakdown",
+    "tab07_accuracy",
+    "training_cost",
+]

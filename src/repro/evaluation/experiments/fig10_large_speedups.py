@@ -1,0 +1,52 @@
+"""Fig. 10: speedups on the large graphs (NELL, Reddit, ogbn-ArXiv).
+
+The figure covers GCN/GIN/GAT/GraphSAGE on NELL and Reddit plus the
+28-layer ResGCN on ogbn-ArXiv. GraphSAGE on Reddit is the configuration
+where HyGCN's gathered aggregation produced the paper's outlier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.evaluation.context import (
+    EvalContext,
+    ExperimentResult,
+    default_context,
+)
+
+PLATFORMS = ("pyg-gpu", "dgl-cpu", "dgl-gpu", "hygcn", "awb-gcn",
+             "gcod", "gcod-8bit")
+
+#: (model, dataset) pairs evaluated by the paper's Fig. 10
+CASES: Tuple[Tuple[str, str], ...] = (
+    ("gcn", "nell"),
+    ("gcn", "reddit"),
+    ("gin", "nell"),
+    ("gin", "reddit"),
+    ("gat", "nell"),
+    ("gat", "reddit"),
+    ("sage", "nell"),
+    ("sage", "reddit"),
+    ("resgcn", "ogbn-arxiv"),
+)
+
+
+def run(
+    context: Optional[EvalContext] = None,
+    cases: Sequence[Tuple[str, str]] = CASES,
+    platforms: Sequence[str] = PLATFORMS,
+) -> ExperimentResult:
+    """Reproduce Fig. 10 (speedups normalized to PyG-CPU, large graphs)."""
+    context = context or default_context()
+    rows = []
+    for arch, dataset in cases:
+        speedups = context.speedups_over_cpu(dataset, arch, platforms)
+        rows.append(
+            (arch, dataset) + tuple(round(speedups[p], 1) for p in platforms)
+        )
+    return ExperimentResult(
+        name="Fig. 10: inference speedups over PyG-CPU (large graphs)",
+        headers=("model", "dataset") + tuple(platforms),
+        rows=rows,
+    )

@@ -1,0 +1,58 @@
+"""Fig. 12: energy breakdown of the GCoD accelerator.
+
+Per (model, dataset): the share of energy spent on computation, on-chip
+reads/writes, and off-chip reads/writes, split by phase (combination vs
+aggregation). The paper's observations to reproduce: combination dominates
+(GCoD fixed the aggregation bottleneck), and HBM energy stays reasonable as
+graphs grow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evaluation.context import (
+    EvalContext,
+    ExperimentResult,
+    default_context,
+)
+
+DATASETS = ("cora", "citeseer", "pubmed", "nell", "reddit")
+MODELS = ("gcn", "sage", "gin", "gat")
+
+
+def run(
+    context: Optional[EvalContext] = None,
+    models: Sequence[str] = MODELS,
+    datasets: Sequence[str] = DATASETS,
+) -> ExperimentResult:
+    """Reproduce Fig. 12 (energy fractions per model/dataset)."""
+    context = context or default_context()
+    gcod = context.platforms()["gcod"]
+    rows = []
+    for arch in models:
+        for dataset in datasets:
+            report = gcod.run(context.gcod_workload(dataset, arch))
+            total = max(report.energy.total_j, 1e-30)
+            comb_e = report.combination.energy
+            agg_e = report.aggregation.energy
+            rows.append(
+                (
+                    arch,
+                    dataset,
+                    round(comb_e.compute_j / total * 100, 1),
+                    round(comb_e.onchip_j / total * 100, 1),
+                    round(comb_e.offchip_j / total * 100, 1),
+                    round(agg_e.compute_j / total * 100, 1),
+                    round(agg_e.onchip_j / total * 100, 1),
+                    round(agg_e.offchip_j / total * 100, 1),
+                    f"{total * 1e6:.1f}uJ",
+                )
+            )
+    return ExperimentResult(
+        name="Fig. 12: GCoD energy breakdown (% of total)",
+        headers=("model", "dataset", "comb compute", "comb onchip",
+                 "comb offchip", "agg compute", "agg onchip", "agg offchip",
+                 "total"),
+        rows=rows,
+    )

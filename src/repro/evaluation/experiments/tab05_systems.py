@@ -1,0 +1,38 @@
+"""Tab. V (+ Tabs. I-II): platform configurations and design characteristics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.evaluation.context import ExperimentResult
+from repro.hardware.accelerators import system_configurations
+from repro.hardware.accelerators.gcod import branch_characteristics
+from repro.hardware.dataflow import pipeline_characteristics
+from repro.utils.tables import format_table
+
+
+def run(context=None) -> ExperimentResult:
+    """Reproduce Tab. V, with Tabs. I and II appended as extra text."""
+    configs = system_configurations()
+    rows = [
+        (c["platform"], c["compute"], c["onchip"], c["offchip"], c["power_w"])
+        for c in configs
+    ]
+    tab1 = format_table(
+        ("branch", "multi chunks", "onchip storage", "offchip access",
+         "arch reuse", "data reuse", "workloads"),
+        [tuple(r.values()) for r in branch_characteristics()],
+        title="Tab. I: branch characteristics",
+    )
+    tab2 = format_table(
+        ("pipeline", "comb spmm", "agg spmm", "onchip", "offchip",
+         "data reuse", "fit for"),
+        [tuple(r.values()) for r in pipeline_characteristics()],
+        title="Tab. II: inter-phase pipelines",
+    )
+    return ExperimentResult(
+        name="Tab. V: system configurations",
+        headers=("platform", "compute", "on-chip", "off-chip", "power (W)"),
+        rows=rows,
+        extra_text=tab1 + "\n\n" + tab2,
+    )

@@ -1,0 +1,93 @@
+"""Platform models: GCoD, prior accelerators, and software baselines."""
+
+from typing import Dict, List
+
+from repro.hardware.accelerators.base import (
+    Accelerator,
+    AcceleratorReport,
+    PhaseStats,
+)
+from repro.hardware.accelerators.gcod import GCoDAccelerator, branch_characteristics
+from repro.hardware.accelerators.hygcn import HyGCN
+from repro.hardware.accelerators.awbgcn import AWBGCN
+from repro.hardware.accelerators.fpga import (
+    ALVEO_U50,
+    DeepburningGL,
+    FPGAPlatformSpec,
+    KCU1500,
+    ZC706,
+)
+from repro.hardware.accelerators.cpu_gpu import (
+    SoftwarePlatform,
+    dgl_cpu,
+    dgl_gpu,
+    pyg_cpu,
+    pyg_gpu,
+)
+
+
+def all_platforms() -> Dict[str, Accelerator]:
+    """The nine baselines + two GCoD variants, keyed by name (Tab. V)."""
+    platforms = {
+        "pyg-cpu": pyg_cpu(),
+        "dgl-cpu": dgl_cpu(),
+        "pyg-gpu": pyg_gpu(),
+        "dgl-gpu": dgl_gpu(),
+        "hygcn": HyGCN(),
+        "awb-gcn": AWBGCN(),
+        "deepburning-zc706": DeepburningGL(ZC706),
+        "deepburning-kcu1500": DeepburningGL(KCU1500),
+        "deepburning-alveo-u50": DeepburningGL(ALVEO_U50),
+        "gcod": GCoDAccelerator(bits=32),
+        "gcod-8bit": GCoDAccelerator(bits=8),
+    }
+    return platforms
+
+
+def system_configurations() -> List[dict]:
+    """Tab. V, as data: compute/memory configuration of every platform."""
+    return [
+        {"platform": "pyg/dgl-cpu", "compute": "2.5GHz @ 24 cores",
+         "onchip": "30MB L3", "offchip": "65.5 GB/s DDR4", "power_w": 150},
+        {"platform": "pyg/dgl-gpu", "compute": "1.35GHz @ 4352 cores",
+         "onchip": "5.5MB L2", "offchip": "616 GB/s GDDR6", "power_w": 250},
+        {"platform": "hygcn", "compute": "1GHz @ 32 SIMD + 8 systolic",
+         "onchip": "24.1MB buffers", "offchip": "256 GB/s HBM", "power_w": 6.7},
+        {"platform": "awb-gcn", "compute": "330MHz @ 4096 PEs",
+         "onchip": "30.5MB scratchpad", "offchip": "76.8 GB/s DDR4", "power_w": 215},
+        {"platform": "deepburning-zc706", "compute": "220MHz @ 900 DSPs",
+         "onchip": "19.2MB", "offchip": "12.8 GB/s DDR3", "power_w": 25},
+        {"platform": "deepburning-kcu1500", "compute": "250MHz @ 5520 DSPs",
+         "onchip": "75.9MB", "offchip": "76.8 GB/s DDR4", "power_w": 40},
+        {"platform": "deepburning-alveo-u50", "compute": "300MHz @ 5952 DSPs",
+         "onchip": "227.3MB", "offchip": "316 GB/s HBM", "power_w": 50},
+        {"platform": "gcod", "compute": "330MHz @ 4096 PEs",
+         "onchip": "42MB (9 BRAM + 33 URAM)", "offchip": "460 GB/s HBM",
+         "power_w": 180},
+        {"platform": "gcod-8bit", "compute": "330MHz @ 10240 PEs",
+         "onchip": "42MB (9 BRAM + 33 URAM)", "offchip": "460 GB/s HBM",
+         "power_w": 180},
+    ]
+
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorReport",
+    "PhaseStats",
+    "GCoDAccelerator",
+    "branch_characteristics",
+    "HyGCN",
+    "AWBGCN",
+    "DeepburningGL",
+    "FPGAPlatformSpec",
+    "ZC706",
+    "KCU1500",
+    "ALVEO_U50",
+    "SoftwarePlatform",
+    "pyg_cpu",
+    "dgl_cpu",
+    "pyg_gpu",
+    "dgl_gpu",
+    "all_platforms",
+    "system_configurations",
+]

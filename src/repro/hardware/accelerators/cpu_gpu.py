@@ -1,0 +1,143 @@
+"""Roofline-style cost models for the PyG/DGL CPU and GPU baselines.
+
+Tab. V configurations: a 24-core Xeon E5-2680-class CPU with DDR4 and an
+RTX-8000-class GPU with GDDR6. Frameworks run the combination phase as a
+*dense* GEMM (no feature-sparsity exploitation) and the aggregation phase as
+a generic SpMM whose efficiency is a tiny fraction of peak — which is the
+empirical fact (Sec. I: 2.94e5 ms for a 2-layer GCN on Reddit on this CPU)
+that motivates dedicated accelerators. Efficiency factors live in
+``repro.hardware.units.SW_EFFICIENCY`` and were calibrated once against the
+paper's cross-platform ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import units
+from repro.hardware.accelerators.base import Accelerator, AcceleratorReport, PhaseStats
+from repro.hardware.energy import EnergyModel
+from repro.hardware.workload import GCNWorkload
+
+
+@dataclass(frozen=True)
+class SoftwarePlatformSpec:
+    """Hardware + framework description of a software baseline."""
+
+    name: str
+    peak_gmacs: float  # peak throughput, GMAC/s
+    mem_bandwidth_gbps: float
+    memory_kind: str
+    gemm_efficiency: float
+    spmm_efficiency: float
+    per_layer_overhead_s: float
+    power_w: float
+
+
+def _platform(name: str, peak_gmacs: float, bw: float, kind: str, power: float):
+    eff = units.SW_EFFICIENCY[name]
+    return SoftwarePlatformSpec(
+        name=name,
+        peak_gmacs=peak_gmacs,
+        mem_bandwidth_gbps=bw,
+        memory_kind=kind,
+        gemm_efficiency=eff["gemm"],
+        spmm_efficiency=eff["spmm"],
+        per_layer_overhead_s=eff["overhead_s"],
+        power_w=power,
+    )
+
+
+# Xeon E5-2680 v3-class: 24 cores x 2.5 GHz x 16 FMA lanes ~ 960 GMAC/s peak.
+# RTX 8000-class: 4352 cores x 1.35 GHz x 2 ~ 11.7 TMAC/s peak, 616 GB/s.
+CPU_PEAK_GMACS = 960.0
+GPU_PEAK_GMACS = 11750.0
+
+
+class SoftwarePlatform(Accelerator):
+    """Latency = Σ_layers Σ_phases max(compute, memory) + framework overhead."""
+
+    def __init__(self, spec: SoftwarePlatformSpec):
+        self.spec = spec
+        self.name = spec.name
+        self._energy = EnergyModel(bits=32, memory_kind=spec.memory_kind)
+
+    def run(self, workload: GCNWorkload) -> AcceleratorReport:
+        """Cost one inference on this software platform."""
+        spec = self.spec
+        comb = PhaseStats()
+        agg = PhaseStats()
+        for layer in workload.layers:
+            # Combination: dense GEMM (frameworks densify node features).
+            macs = workload.comb_macs(layer, sparse_aware=False)
+            x_bytes = workload.feature_bytes(layer)
+            w_bytes = workload.weight_bytes(layer)
+            out_bytes = workload.output_bytes(layer)
+            traffic = x_bytes + w_bytes + out_bytes
+            compute_s = macs / (spec.peak_gmacs * 1e9 * spec.gemm_efficiency)
+            memory_s = traffic / (spec.mem_bandwidth_gbps * 1e9)
+            comb += PhaseStats(
+                seconds=max(compute_s, memory_s) + spec.per_layer_overhead_s,
+                macs=macs,
+                onchip_bytes=traffic,  # caches touch every byte at least once
+                offchip_bytes=traffic,
+                energy=self._energy.energy(macs, traffic, traffic),
+                streamed_bytes=traffic,
+            )
+            # Aggregation: generic SpMM with poor locality; gather traffic
+            # touches one feature row per nnz.
+            if layer.aggregate:
+                a_macs = workload.agg_macs(layer)
+                gather_bytes = (
+                    workload.adjacency.nnz * layer.aggregation_dim * 4
+                    + workload.adjacency.coo_bytes
+                    + out_bytes
+                )
+                compute_s = a_macs / (
+                    spec.peak_gmacs * 1e9 * spec.spmm_efficiency
+                )
+                memory_s = gather_bytes / (spec.mem_bandwidth_gbps * 1e9)
+                agg += PhaseStats(
+                    seconds=max(compute_s, memory_s) + spec.per_layer_overhead_s,
+                    macs=a_macs,
+                    onchip_bytes=gather_bytes,
+                    offchip_bytes=gather_bytes,
+                    energy=self._energy.energy(a_macs, gather_bytes, gather_bytes),
+                    streamed_bytes=gather_bytes,
+                )
+        latency = comb.seconds + agg.seconds  # no inter-phase pipelining
+        return AcceleratorReport(
+            platform=self.name,
+            workload=workload.name,
+            combination=comb,
+            aggregation=agg,
+            latency_s=latency,
+        )
+
+
+def pyg_cpu() -> SoftwarePlatform:
+    """PyTorch-Geometric on the Tab. V CPU (the normalization baseline)."""
+    return SoftwarePlatform(
+        _platform("pyg-cpu", CPU_PEAK_GMACS, 65.5, "ddr", 150.0)
+    )
+
+
+def dgl_cpu() -> SoftwarePlatform:
+    """Deep Graph Library on the Tab. V CPU."""
+    return SoftwarePlatform(
+        _platform("dgl-cpu", CPU_PEAK_GMACS, 65.5, "ddr", 150.0)
+    )
+
+
+def pyg_gpu() -> SoftwarePlatform:
+    """PyTorch-Geometric on the Tab. V GPU."""
+    return SoftwarePlatform(
+        _platform("pyg-gpu", GPU_PEAK_GMACS, 616.0, "gddr", 250.0)
+    )
+
+
+def dgl_gpu() -> SoftwarePlatform:
+    """Deep Graph Library on the Tab. V GPU."""
+    return SoftwarePlatform(
+        _platform("dgl-gpu", GPU_PEAK_GMACS, 616.0, "gddr", 250.0)
+    )

@@ -1,0 +1,111 @@
+"""Deepburning-GL [24] models on three FPGA platforms (Tab. V).
+
+Deepburning-GL auto-generates GNN accelerators from templates; the generated
+designs use a generic dataflow with no GCN-specific workload balancing, so
+we model them as straightforward MAC arrays at each platform's DSP count and
+memory system, with a flat utilization factor
+(``units.DEEPBURNING_UTILIZATION``) and no feature-sparsity support beyond
+nnz-based aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import units
+from repro.hardware.accelerators.base import Accelerator, AcceleratorReport, PhaseStats
+from repro.hardware.energy import EnergyModel
+from repro.hardware.memory import Buffer, OffChipMemory
+from repro.hardware.pe import PEArray
+from repro.hardware.workload import GCNWorkload
+
+
+@dataclass(frozen=True)
+class FPGAPlatformSpec:
+    """One Tab. V FPGA platform."""
+
+    name: str
+    dsps: int
+    clock_hz: float
+    onchip_bytes: int
+    bandwidth_gbps: float
+    memory_kind: str
+
+
+ZC706 = FPGAPlatformSpec("zc706", 900, 220e6, int(19.2e6), 12.8, "ddr")
+KCU1500 = FPGAPlatformSpec("kcu1500", 5520, 250e6, int(75.9e6), 76.8, "ddr")
+ALVEO_U50 = FPGAPlatformSpec("alveo-u50", 5952, 300e6, int(227.3e6), 316.0, "hbm")
+
+
+class DeepburningGL(Accelerator):
+    """Analytic Deepburning-GL model on one FPGA platform."""
+
+    def __init__(self, spec: FPGAPlatformSpec):
+        self.spec = spec
+        self.name = f"deepburning-{spec.name}"
+        self.pes = PEArray(spec.dsps, spec.clock_hz)
+        self.memory = OffChipMemory(spec.memory_kind, spec.bandwidth_gbps)
+        self.buffer = Buffer("unified", spec.onchip_bytes)
+        self._energy = EnergyModel(bits=32, memory_kind=spec.memory_kind)
+
+    def run(self, workload: GCNWorkload) -> AcceleratorReport:
+        """Cost one inference on the generated design."""
+        comb = PhaseStats()
+        agg = PhaseStats()
+        latency = 0.0
+        adj = workload.adjacency
+        util = units.DEEPBURNING_UTILIZATION
+        for layer in workload.layers:
+            macs = workload.comb_macs(layer, sparse_aware=True)
+            traffic = (
+                workload.feature_bytes(layer)
+                + workload.weight_bytes(layer)
+                + workload.output_bytes(layer)
+            )
+            # Generated designs double-buffer inputs, but the narrow DDR
+            # channels cannot always hide the feature stream, so the slower
+            # of compute and (half-hidden) streaming wins.
+            comb_s = max(
+                self.pes.compute_seconds(macs, util),
+                self.memory.transfer_seconds(traffic) * 0.5,
+            )
+            comb += PhaseStats(
+                seconds=comb_s,
+                macs=macs,
+                onchip_bytes=traffic,
+                offchip_bytes=traffic,
+                energy=self._energy.energy(macs, traffic, traffic),
+                streamed_bytes=traffic * 0.5,
+            )
+            agg_s = 0.0
+            if layer.aggregate:
+                a_macs = workload.agg_macs(layer)
+                out_bytes = workload.num_nodes * layer.aggregation_dim * 4
+                # Generic gather-style aggregation: feature rows are fetched
+                # per edge; the unified buffer caches what it can.
+                gather = adj.nnz * layer.aggregation_dim * 4
+                resident = min(
+                    1.0, self.buffer.capacity_bytes / max(out_bytes * 2, 1)
+                )
+                offchip = gather * (1.0 - 0.5 * resident) + adj.coo_bytes + out_bytes
+                agg_s = max(
+                    self.pes.compute_seconds(a_macs, util),
+                    self.memory.transfer_seconds(offchip),
+                )
+                agg += PhaseStats(
+                    seconds=agg_s,
+                    macs=a_macs,
+                    onchip_bytes=gather,
+                    offchip_bytes=offchip,
+                    energy=self._energy.energy(a_macs, gather, offchip),
+                    streamed_bytes=offchip,
+                )
+            # Generated designs execute the phases back-to-back.
+            latency += comb_s + agg_s
+        return AcceleratorReport(
+            platform=self.name,
+            workload=workload.name,
+            combination=comb,
+            aggregation=agg,
+            latency_s=latency,
+        )

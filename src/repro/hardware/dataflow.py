@@ -1,0 +1,79 @@
+"""Inter-phase pipelines: efficiency-aware vs resource-aware (Fig. 7, Tab. II).
+
+Both pipelines feed combination results straight into distributed
+aggregation; they differ in the order partial results are produced and
+therefore in what must stay on-chip:
+
+* **efficiency-aware** — combination emits completed *rows* of ``XW``
+  (row-wise product); aggregation consumes them immediately but must keep a
+  full ``N x F`` accumulation buffer live. Best data reuse; needs a big
+  output buffer. For small/medium graphs.
+* **resource-aware** — combination emits *columns* of ``XW``; aggregation
+  accumulates one output column at a time, so only ``N x 1`` accumulators
+  are live. The price is that the (on-chip) adjacency is re-walked once per
+  feature column, and for graphs whose adjacency cannot stay resident the
+  re-walks spill off-chip. For billion-edge graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PipelineChoice:
+    """The pipeline selected for one layer's aggregation."""
+
+    name: str  # "efficiency-aware" | "resource-aware"
+    output_buffer_bytes: int  # accumulator footprint while aggregating
+    adjacency_rewalks: int  # how many times the adjacency is traversed
+
+
+def select_pipeline(
+    num_nodes: int,
+    agg_dim: int,
+    bytes_per_value: int,
+    output_buffer_capacity: int,
+) -> PipelineChoice:
+    """Pick the pipeline for one layer (Sec. V-B).
+
+    Efficiency-aware is chosen whenever the full aggregation output fits in
+    the output buffer; otherwise resource-aware processes the features in
+    column tiles sized to the buffer.
+    """
+    out_bytes = num_nodes * agg_dim * bytes_per_value
+    if out_bytes <= output_buffer_capacity:
+        return PipelineChoice("efficiency-aware", out_bytes, 1)
+    cols_per_pass = max(1, output_buffer_capacity // max(num_nodes * bytes_per_value, 1))
+    rewalks = -(-agg_dim // cols_per_pass)
+    # When even a single output column exceeds the buffer, the column itself
+    # is row-tiled; the live accumulator never exceeds the capacity.
+    live_bytes = min(
+        num_nodes * cols_per_pass * bytes_per_value, output_buffer_capacity
+    )
+    return PipelineChoice("resource-aware", live_bytes, rewalks)
+
+
+def pipeline_characteristics() -> List[dict]:
+    """Tab. II, as data: the qualitative comparison of the two pipelines."""
+    return [
+        {
+            "pipeline": "efficiency-aware",
+            "comb_spmm": "row-wise product",
+            "agg_spmm": "column-wise product",
+            "onchip_storage": "high",
+            "offchip_access": "low",
+            "data_reuse": "X, XW, A",
+            "fit_for_graphs": "medium",
+        },
+        {
+            "pipeline": "resource-aware",
+            "comb_spmm": "column-wise product",
+            "agg_spmm": "column-wise product",
+            "onchip_storage": "low",
+            "offchip_access": "low",
+            "data_reuse": "X, XW, X'",
+            "fit_for_graphs": "large",
+        },
+    ]

@@ -1,0 +1,61 @@
+"""Energy accounting for compute, on-chip, and off-chip accesses (Fig. 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware import units
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (joules) split the way Fig. 12 plots it."""
+
+    compute_j: float = 0.0
+    onchip_j: float = 0.0
+    offchip_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """Total energy in joules."""
+        return self.compute_j + self.onchip_j + self.offchip_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.compute_j + other.compute_j,
+            self.onchip_j + other.onchip_j,
+            self.offchip_j + other.offchip_j,
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalized shares of each component."""
+        total = max(self.total_j, 1e-30)
+        return {
+            "compute": self.compute_j / total,
+            "onchip": self.onchip_j / total,
+            "offchip": self.offchip_j / total,
+        }
+
+
+class EnergyModel:
+    """Converts operation counts into joules for a given precision/memory."""
+
+    def __init__(self, bits: int = 32, memory_kind: str = "hbm"):
+        self.bits = bits
+        self.mac_pj = units.MAC8_PJ if bits <= 8 else units.MAC32_PJ
+        self.mem_pj = {
+            "hbm": units.HBM_PJ_PER_BYTE,
+            "ddr": units.DDR_PJ_PER_BYTE,
+            "gddr": units.GDDR_PJ_PER_BYTE,
+        }[memory_kind]
+
+    def energy(
+        self, macs: float, onchip_bytes: float, offchip_bytes: float
+    ) -> EnergyBreakdown:
+        """Energy of a phase given its op/byte counts."""
+        return EnergyBreakdown(
+            compute_j=macs * self.mac_pj * 1e-12,
+            onchip_j=onchip_bytes * units.SRAM_PJ_PER_BYTE * 1e-12,
+            offchip_j=offchip_bytes * self.mem_pj * 1e-12,
+        )

@@ -1,0 +1,98 @@
+"""Memory-system components: on-chip buffers and off-chip channels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hardware import units
+
+
+@dataclass
+class Buffer:
+    """An on-chip SRAM buffer with explicit byte accounting.
+
+    The accelerator's dedicated buffers (FBuf/WBuf/IdxBuf/OBuf in Fig. 6)
+    are instances of this class; read/write counters feed the energy model.
+    """
+
+    name: str
+    capacity_bytes: int
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def __post_init__(self):
+        if self.capacity_bytes < 0:
+            raise ConfigError("buffer capacity must be non-negative")
+
+    def fits(self, nbytes: int) -> bool:
+        """True if a working set of ``nbytes`` fits entirely."""
+        return nbytes <= self.capacity_bytes
+
+    def reload_factor(self, working_set_bytes: int) -> int:
+        """How many passes are needed to stream a working set through.
+
+        1 means the data fits (single load, full reuse); k means the
+        consumer re-streams it k times because only 1/k fits at once.
+        """
+        if working_set_bytes <= 0:
+            return 1
+        if self.capacity_bytes <= 0:
+            return working_set_bytes  # degenerate: every byte is a miss
+        return max(1, -(-working_set_bytes // self.capacity_bytes))
+
+    def read(self, nbytes: int) -> None:
+        """Record ``nbytes`` read from this buffer."""
+        self.bytes_read += int(nbytes)
+
+    def write(self, nbytes: int) -> None:
+        """Record ``nbytes`` written into this buffer."""
+        self.bytes_written += int(nbytes)
+
+    @property
+    def total_traffic(self) -> int:
+        """Total bytes moved through this buffer."""
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class OffChipMemory:
+    """An off-chip channel (HBM/DDR/GDDR) with bandwidth and energy cost."""
+
+    kind: str  # "hbm", "ddr", or "gddr"
+    bandwidth_gbps: float  # GB/s
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    _PJ = {
+        "hbm": units.HBM_PJ_PER_BYTE,
+        "ddr": units.DDR_PJ_PER_BYTE,
+        "gddr": units.GDDR_PJ_PER_BYTE,
+    }
+
+    def __post_init__(self):
+        if self.kind not in self._PJ:
+            raise ConfigError(f"unknown memory kind {self.kind!r}")
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    def read(self, nbytes: int) -> None:
+        """Record ``nbytes`` read from off-chip memory."""
+        self.bytes_read += int(nbytes)
+
+    def write(self, nbytes: int) -> None:
+        """Record ``nbytes`` written to off-chip memory."""
+        self.bytes_written += int(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-chip traffic so far."""
+        return self.bytes_read + self.bytes_written
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` at full bandwidth."""
+        return nbytes / (self.bandwidth_gbps * 1e9)
+
+    def energy_pj(self, nbytes: int) -> float:
+        """Energy to move ``nbytes``."""
+        return nbytes * self._PJ[self.kind]

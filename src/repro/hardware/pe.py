@@ -1,0 +1,35 @@
+"""Processing-element array model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """A MAC array: ``num_pes`` units at ``clock_hz``, one MAC/PE/cycle."""
+
+    num_pes: int
+    clock_hz: float
+
+    def __post_init__(self):
+        if self.num_pes <= 0 or self.clock_hz <= 0:
+            raise ConfigError("PE count and clock must be positive")
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak throughput at utilization 1.0."""
+        return self.num_pes * self.clock_hz
+
+    def compute_seconds(self, macs: float, utilization: float = 1.0) -> float:
+        """Time to execute ``macs`` multiply-accumulates at ``utilization``."""
+        if not 0.0 < utilization <= 1.0:
+            raise ConfigError("utilization must be in (0, 1]")
+        return macs / (self.peak_macs_per_second * utilization)
+
+    def split(self, fraction: float) -> "PEArray":
+        """A sub-array holding ``fraction`` of the PEs (chunk allocation)."""
+        count = max(1, int(round(self.num_pes * fraction)))
+        return PEArray(min(count, self.num_pes), self.clock_hz)

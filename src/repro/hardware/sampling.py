@@ -1,0 +1,104 @@
+"""The sampling unit: an LFSR-based random picker (Sec. V-B).
+
+"Sampling Units to schedule the node sampling. Specifically, we implement a
+linear shift register to randomly pick from non-zero elements from the
+adjacency matrices' columns." — this module implements that hardware block
+in software: a Fibonacci LFSR produces the pseudo-random stream, and
+``SamplingUnit`` uses it to subsample adjacency columns for GraphSAGE-style
+neighbourhood sampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+# Maximal-length tap positions (XNOR/XOR Fibonacci form) per register width.
+_TAPS = {
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 30, 26, 25),
+}
+
+
+class LFSR:
+    """A Fibonacci linear-feedback shift register.
+
+    A maximal-length ``width``-bit LFSR cycles through ``2**width - 1``
+    distinct non-zero states — cheap, deterministic pseudo-randomness, which
+    is exactly what a hardware sampling unit wants.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1):
+        if width not in _TAPS:
+            raise ValueError(f"unsupported LFSR width {width}; use {sorted(_TAPS)}")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.state = seed & self.mask
+        if self.state == 0:
+            self.state = 1  # the all-zeros state is a fixed point; avoid it
+        self.taps = _TAPS[width]
+
+    def step(self) -> int:
+        """Advance one cycle; return the new state."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & self.mask
+        if self.state == 0:  # pragma: no cover - unreachable for max-length taps
+            self.state = 1
+        return self.state
+
+    def next_below(self, bound: int) -> int:
+        """A pseudo-random integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        # Use the top bits; reject values >= bound to stay unbiased.
+        while True:
+            value = self.step() % (1 << max(bound - 1, 1).bit_length())
+            if value < bound:
+                return value
+
+
+class SamplingUnit:
+    """Hardware-style neighbour sampler over adjacency columns.
+
+    For each column, picks ``max_samples`` non-zeros without replacement
+    using an in-place partial Fisher-Yates shuffle driven by the LFSR — the
+    streaming-friendly formulation of uniform sampling.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1):
+        self.lfsr = LFSR(width=width, seed=seed)
+
+    def sample_column(self, indices: np.ndarray, max_samples: int) -> np.ndarray:
+        """Pick up to ``max_samples`` entries of ``indices`` uniformly."""
+        n = indices.shape[0]
+        if n <= max_samples:
+            return indices.copy()
+        pool = indices.copy()
+        for i in range(max_samples):
+            j = i + self.lfsr.next_below(n - i)
+            pool[i], pool[j] = pool[j], pool[i]
+        return pool[:max_samples]
+
+    def sample_adjacency(
+        self, adj: sp.spmatrix, max_samples: int
+    ) -> sp.csr_matrix:
+        """Subsample every column of ``adj`` to ``max_samples`` non-zeros."""
+        csc = sp.csc_matrix(adj)
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        for j in range(csc.shape[1]):
+            lo, hi = csc.indptr[j], csc.indptr[j + 1]
+            picked = self.sample_column(csc.indices[lo:hi], max_samples)
+            rows.append(picked)
+            cols.append(np.full(picked.shape[0], j, dtype=np.int64))
+        row = np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+        col = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+        return sp.csr_matrix(
+            (np.ones(row.shape[0]), (row, col)), shape=csc.shape
+        )

@@ -1,0 +1,74 @@
+"""Physical constants and calibration factors for the hardware models.
+
+Every number that turns *structural* facts (MAC counts, byte counts,
+measured workload balance) into *physical* estimates (seconds, joules)
+lives here, so the calibration surface is one documented file.
+
+Energy constants follow the usual Horowitz-style scaling (45nm-class
+technology): an off-chip access costs ~2 orders of magnitude more than a
+MAC, on-chip SRAM sits in between. Software-efficiency factors for the
+PyG/DGL baselines are calibrated once against the ratios the paper reports
+(e.g. AWB-GCN ~1000x PyG-CPU on Cora, DGL-CPU ~15x PyG-CPU) and then left
+alone; every GCoD result is produced by the model, not fitted.
+"""
+
+# ---------------------------------------------------------------------------
+# energy per operation (picojoules)
+# ---------------------------------------------------------------------------
+MAC32_PJ = 3.1  # 32-bit fixed-point multiply-accumulate
+MAC8_PJ = 0.4  # 8-bit MAC (GCoD 8-bit variant)
+SRAM_PJ_PER_BYTE = 1.5  # on-chip buffer access
+HBM_PJ_PER_BYTE = 56.0  # ~7 pJ/bit, HBM2-class
+DDR_PJ_PER_BYTE = 160.0  # ~20 pJ/bit, DDR4-class
+GDDR_PJ_PER_BYTE = 96.0  # GDDR6-class
+
+#: bytes per value at the two precisions the paper evaluates
+BYTES_FP32 = 4
+BYTES_INT8 = 1
+
+# ---------------------------------------------------------------------------
+# software-platform calibration (fractions of peak throughput achieved)
+# ---------------------------------------------------------------------------
+# Dense GEMM efficiency: how much of peak FLOPs a framework reaches on the
+# combination phase. SpMM efficiency: same for the (irregular) aggregation
+# phase; these are tiny on CPUs/GPUs, which is the entire motivation for
+# dedicated GCN accelerators (Sec. I quotes 2.94e5 ms for Reddit on a Xeon).
+SW_EFFICIENCY = {
+    "pyg-cpu": {"gemm": 0.050, "spmm": 0.00025, "overhead_s": 0.5e-3},
+    "dgl-cpu": {"gemm": 0.350, "spmm": 0.00400, "overhead_s": 0.2e-3},
+    "pyg-gpu": {"gemm": 0.200, "spmm": 0.00180, "overhead_s": 20e-6},
+    "dgl-gpu": {"gemm": 0.150, "spmm": 0.00100, "overhead_s": 30e-6},
+}
+
+# ---------------------------------------------------------------------------
+# accelerator utilization calibration
+# ---------------------------------------------------------------------------
+# HyGCN: gathered aggregation with window sliding; SIMD lanes idle on short
+# neighbour lists, so aggregation utilization is low; systolic combination
+# is efficient. Locality of gathered feature fetches (fraction served by the
+# on-chip window cache).
+HYGCN_AGG_UTILIZATION = 0.75
+HYGCN_COMB_UTILIZATION = 0.80
+HYGCN_GATHER_HIT_RATE = 0.92
+
+# AWB-GCN: distributed aggregation with runtime autotuned rebalancing.
+# Utilization after autotuning is good but rebalancing itself stalls the
+# array a little and the first iterations run imbalanced; the power-law
+# row-length skew also hurts its combination-phase SpMM.
+AWB_AGG_UTILIZATION = 0.68
+AWB_COMB_UTILIZATION = 0.70
+AWB_REBALANCE_OVERHEAD = 0.12  # fraction of cycles spent autotuning
+
+# Deepburning-GL: automatically generated, generic dataflow; no workload
+# balancing at all.
+DEEPBURNING_UTILIZATION = 0.45
+
+# GCoD: denser-branch utilization is *measured* (subgraph balance) times a
+# small static-scheduling efficiency; the sparser branch overlaps with it.
+GCOD_STATIC_SCHEDULE_EFF = 0.95
+# Ablation: a single undifferentiated branch (two_pronged=False) faces the
+# full power-law imbalance with no chunking and no autotuning — utilization
+# sits between HyGCN's SIMD lanes and AWB-GCN's autotuned array.
+GCOD_SINGLE_BRANCH_UTILIZATION = 0.50
+GCOD_WEIGHT_FORWARD_RATE = 0.63  # Sec. V-B: ~63% of sparser-branch weights
+GCOD_SYNC_OVERHEAD = 0.03  # output synchronization between branches

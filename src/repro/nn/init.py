@@ -1,0 +1,20 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def glorot(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (standard for GCN layers)."""
+    gen = ensure_rng(rng)
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)

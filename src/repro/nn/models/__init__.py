@@ -1,0 +1,67 @@
+"""The five GCN variants evaluated by the paper (Tab. IV)."""
+
+from repro.nn.models.base import GNNModel, GraphOps
+from repro.nn.models.gcn import GCN
+from repro.nn.models.gin import GIN
+from repro.nn.models.gat import GAT, GATLayer
+from repro.nn.models.sage import GraphSAGE, SAGELayer, sample_neighbors
+from repro.nn.models.resgcn import ResGCN
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike
+
+
+#: Tab. IV hidden dimensions: 16 for citation graphs, 64 for NELL/Reddit.
+def hidden_dim_for(dataset_name: str) -> int:
+    """Hidden width the paper uses for ``dataset_name`` (Tab. IV)."""
+    return 16 if dataset_name in ("cora", "citeseer", "pubmed") else 64
+
+
+def build_model(
+    arch: str,
+    graph: Graph,
+    hidden_dim: int = None,
+    num_layers: int = None,
+    rng: SeedLike = None,
+) -> GNNModel:
+    """Construct one of the Tab. IV models sized for ``graph``.
+
+    ``arch`` is one of ``gcn``, ``gin``, ``gat``, ``sage``, ``resgcn``.
+    ``hidden_dim`` / ``num_layers`` default to the paper's settings.
+    """
+    arch = arch.lower()
+    in_dim = graph.num_features
+    out_dim = graph.num_classes
+    hidden = hidden_dim or hidden_dim_for(graph.name)
+    if arch == "gcn":
+        return GCN(in_dim, hidden, out_dim, num_layers=num_layers or 2, rng=rng)
+    if arch == "gin":
+        return GIN(in_dim, hidden, out_dim, num_layers=num_layers or 3, rng=rng)
+    if arch == "gat":
+        return GAT(in_dim, hidden_dim or 8, out_dim, heads=8, rng=rng)
+    if arch in ("sage", "graphsage"):
+        return GraphSAGE(in_dim, hidden, out_dim, rng=rng)
+    if arch == "resgcn":
+        return ResGCN(
+            in_dim, hidden_dim or 128, out_dim, num_layers=num_layers or 28, rng=rng
+        )
+    raise ValueError(f"unknown architecture {arch!r}")
+
+
+MODEL_ARCHS = ("gcn", "gin", "gat", "sage", "resgcn")
+
+__all__ = [
+    "GNNModel",
+    "GraphOps",
+    "GCN",
+    "GIN",
+    "GAT",
+    "GATLayer",
+    "GraphSAGE",
+    "SAGELayer",
+    "sample_neighbors",
+    "ResGCN",
+    "build_model",
+    "hidden_dim_for",
+    "MODEL_ARCHS",
+]

@@ -1,0 +1,61 @@
+"""Graph Isomorphism Network (Xu et al.) with Add aggregation (Tab. IV)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm1d, Linear, Module
+from repro.nn.models.base import GNNModel, GraphOps
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class _GINMLP(Module):
+    """The 2-layer MLP applied after each GIN aggregation."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int, rng=None):
+        super().__init__()
+        gen = ensure_rng(rng)
+        self.fc1 = Linear(in_dim, hidden_dim, rng=gen)
+        self.bn = BatchNorm1d(hidden_dim)
+        self.fc2 = Linear(hidden_dim, out_dim, rng=gen)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.fc2(F.relu(self.bn(self.fc1(x))))
+
+
+class GIN(GNNModel):
+    """``h' = MLP((1 + eps) h + Σ_{j∈N(i)} h_j)``; 3 layers per Tab. IV."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        num_layers: int = 3,
+        dropout: float = 0.5,
+        eps: float = 0.0,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        gen = ensure_rng(rng)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+        self.mlps: List[_GINMLP] = [
+            _GINMLP(dims[i], hidden_dim, dims[i + 1], rng=gen)
+            for i in range(num_layers)
+        ]
+        self.eps = Tensor(eps * 1.0 + 0.0, requires_grad=True)
+        self.dropout = dropout
+        self._rng = gen
+
+    def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
+        """Return class logits for every node."""
+        h = x
+        for i, mlp in enumerate(self.mlps):
+            h = F.dropout(h, self.dropout, self.training, rng=self._rng)
+            aggregated = ops.agg_sum(h) + h * (self.eps + Tensor(1.0))
+            h = mlp(aggregated)
+            if i < len(self.mlps) - 1:
+                h = F.relu(h)
+        return h

@@ -1,0 +1,26 @@
+"""GCoD Step-1 partitioning: degree classes, METIS-like splits, groups.
+
+``partition_graph`` is the package's entry point: it bins nodes into degree
+classes, splits every class into workload-balanced subgraphs with a
+multilevel partitioner, distributes subgraphs round-robin over groups, and
+returns a :class:`BlockLayout` describing the resulting block structure —
+the object both the GCoD training pipeline and the accelerator's workload
+extractor consume.
+"""
+
+from repro.partition.degree_classes import (
+    degree_classes,
+    quantile_thresholds,
+)
+from repro.partition.metis import metis_partition
+from repro.partition.grouping import distribute_round_robin
+from repro.partition.layout import BlockLayout, partition_graph
+
+__all__ = [
+    "degree_classes",
+    "quantile_thresholds",
+    "metis_partition",
+    "distribute_round_robin",
+    "BlockLayout",
+    "partition_graph",
+]

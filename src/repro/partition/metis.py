@@ -1,0 +1,224 @@
+"""A multilevel k-way graph partitioner (METIS [17] stand-in).
+
+GCoD Step 1 uses METIS to split each degree class into subgraphs with "a
+similar number of edges". The real METIS is a C library; this module
+implements the same multilevel recipe in numpy:
+
+1. **Coarsening** — repeated heavy-edge matching collapses matched node
+   pairs until the graph is small;
+2. **Initial partitioning** — greedy region growing on the coarsest graph,
+   balanced by accumulated node weight (weight = degree + 1, i.e. workload);
+3. **Uncoarsening + refinement** — projected partitions are improved by
+   boundary Kernighan–Lin/FM passes that move nodes to reduce edge cut while
+   respecting a balance tolerance.
+
+The partitioner optimizes *workload* balance (sum of node degrees per part),
+which is the property the chunk-based accelerator needs, and reduces edge
+cut, which is what shrinks the sparser branch's off-diagonal workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import PartitionError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(eq=False)
+class _Level:
+    """One level of the multilevel hierarchy."""
+
+    adj: sp.csr_matrix
+    node_weight: np.ndarray
+    fine_to_coarse: Optional[np.ndarray]  # None at the finest level
+
+
+def _heavy_edge_matching(
+    adj: sp.csr_matrix, node_weight: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Match each node with its heaviest unmatched neighbour.
+
+    Returns ``coarse_id`` per node; matched pairs share an id. Visit order is
+    randomized (standard METIS trick to avoid pathological matchings).
+    """
+    n = adj.shape[0]
+    coarse_id = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    next_id = 0
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    for u in order:
+        if coarse_id[u] != -1:
+            continue
+        best, best_w = -1, -np.inf
+        for off in range(indptr[u], indptr[u + 1]):
+            v = indices[off]
+            if v != u and coarse_id[v] == -1 and data[off] > best_w:
+                best, best_w = v, data[off]
+        coarse_id[u] = next_id
+        if best != -1:
+            coarse_id[best] = next_id
+        next_id += 1
+    return coarse_id
+
+
+def _contract(
+    adj: sp.csr_matrix, node_weight: np.ndarray, coarse_id: np.ndarray
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Collapse matched nodes; parallel edge weights accumulate."""
+    n_coarse = int(coarse_id.max()) + 1
+    coo = adj.tocoo()
+    rows = coarse_id[coo.row]
+    cols = coarse_id[coo.col]
+    keep = rows != cols
+    coarse_adj = sp.csr_matrix(
+        (coo.data[keep], (rows[keep], cols[keep])), shape=(n_coarse, n_coarse)
+    )
+    coarse_adj.sum_duplicates()
+    coarse_weight = np.zeros(n_coarse)
+    np.add.at(coarse_weight, coarse_id, node_weight)
+    return coarse_adj, coarse_weight
+
+
+def _initial_partition(
+    adj: sp.csr_matrix,
+    node_weight: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy region growing: seed k regions, grow by boundary accretion."""
+    n = adj.shape[0]
+    target = node_weight.sum() / k
+    parts = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(k)
+    order = np.argsort(-node_weight)  # place heavy nodes first
+    indptr, indices = adj.indptr, adj.indices
+    for u in order:
+        if parts[u] != -1:
+            continue
+        # Prefer the least-loaded part among neighbours' parts; fall back to
+        # the globally least-loaded part.
+        neigh_parts = parts[indices[indptr[u] : indptr[u + 1]]]
+        neigh_parts = neigh_parts[neigh_parts >= 0]
+        candidates = np.unique(neigh_parts) if neigh_parts.size else np.arange(k)
+        best = candidates[np.argmin(loads[candidates])]
+        if loads[best] + node_weight[u] > 1.3 * target:
+            best = int(np.argmin(loads))
+        parts[u] = best
+        loads[best] += node_weight[u]
+    return parts
+
+
+def _refine(
+    adj: sp.csr_matrix,
+    node_weight: np.ndarray,
+    parts: np.ndarray,
+    k: int,
+    balance_tol: float,
+    passes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boundary FM refinement: greedily move nodes that reduce the cut."""
+    n = adj.shape[0]
+    target = node_weight.sum() / k
+    max_load = target * (1.0 + balance_tol)
+    loads = np.zeros(k)
+    np.add.at(loads, parts, node_weight)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+
+    for _ in range(passes):
+        moved = 0
+        for u in rng.permutation(n):
+            pu = parts[u]
+            # Gain of moving u to part q: (edges to q) - (edges to pu).
+            neigh = indices[indptr[u] : indptr[u + 1]]
+            w = data[indptr[u] : indptr[u + 1]]
+            if neigh.size == 0:
+                continue
+            gains = np.zeros(k)
+            np.add.at(gains, parts[neigh], w)
+            internal = gains[pu]
+            gains[pu] = -np.inf
+            q = int(np.argmax(gains))
+            if gains[q] <= internal:
+                continue
+            if loads[q] + node_weight[u] > max_load:
+                continue
+            parts[u] = q
+            loads[pu] -= node_weight[u]
+            loads[q] += node_weight[u]
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def edge_cut(adj: sp.spmatrix, parts: np.ndarray) -> int:
+    """Total weight of edges crossing partition boundaries (each counted once)."""
+    coo = sp.coo_matrix(adj)
+    crossing = parts[coo.row] != parts[coo.col]
+    return int(coo.data[crossing].sum() // 2)
+
+
+def metis_partition(
+    adj: sp.spmatrix,
+    k: int,
+    node_weight: Optional[np.ndarray] = None,
+    balance_tol: float = 0.15,
+    coarsen_until: int = 120,
+    refine_passes: int = 4,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """K-way partition of ``adj`` balancing ``node_weight`` per part.
+
+    Returns an integer part id per node. ``node_weight`` defaults to
+    ``degree + 1`` so that balance means *edge workload* balance, matching
+    the paper's "subgraphs with a similar number of edges".
+    """
+    gen = ensure_rng(rng)
+    adj = sp.csr_matrix(adj)
+    n = adj.shape[0]
+    if k < 1:
+        raise PartitionError("k must be positive")
+    if k == 1 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    if k > n:
+        raise PartitionError(f"cannot split {n} nodes into {k} parts")
+    if node_weight is None:
+        node_weight = np.asarray(adj.sum(axis=1)).ravel() + 1.0
+    node_weight = np.asarray(node_weight, dtype=np.float64)
+
+    # --- coarsening phase -------------------------------------------------
+    levels: List[_Level] = [_Level(adj, node_weight, None)]
+    while levels[-1].adj.shape[0] > max(coarsen_until, 4 * k):
+        cur = levels[-1]
+        matching = _heavy_edge_matching(cur.adj, cur.node_weight, gen)
+        if int(matching.max()) + 1 >= cur.adj.shape[0]:
+            break  # matching stalled (e.g. star graphs); stop coarsening
+        coarse_adj, coarse_w = _contract(cur.adj, cur.node_weight, matching)
+        levels.append(_Level(coarse_adj, coarse_w, matching))
+
+    # --- initial partition on the coarsest graph --------------------------
+    coarsest = levels[-1]
+    parts = _initial_partition(coarsest.adj, coarsest.node_weight, k, gen)
+    parts = _refine(
+        coarsest.adj, coarsest.node_weight, parts, k, balance_tol, refine_passes, gen
+    )
+
+    # --- uncoarsen + refine ------------------------------------------------
+    for li in range(len(levels) - 2, -1, -1):
+        parts = parts[levels[li + 1].fine_to_coarse]
+        parts = _refine(
+            levels[li].adj,
+            levels[li].node_weight,
+            parts,
+            k,
+            balance_tol,
+            refine_passes,
+            gen,
+        )
+    return parts.astype(np.int64)

@@ -1,0 +1,30 @@
+"""Sparse matrix formats with explicit storage accounting.
+
+The GCoD accelerator reasons about formats, not just values: the denser
+branch consumes COO/dense inputs while the sparser branch consumes CSC
+because of its smaller storage footprint (Sec. V-B). This package provides
+COO / CSR / CSC containers whose byte costs are first-class, plus reference
+SpMM kernels in both the row-wise and column-wise product orders used by the
+efficiency- and resource-aware pipelines (Fig. 7).
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import from_scipy, to_scipy
+from repro.sparse.ops import (
+    spmm_row_product,
+    spmm_column_product,
+    spmm,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "from_scipy",
+    "to_scipy",
+    "spmm_row_product",
+    "spmm_column_product",
+    "spmm",
+]

@@ -1,0 +1,41 @@
+"""Conversions between this package's sparse containers and scipy.sparse."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+AnySparse = Union[COOMatrix, CSRMatrix, CSCMatrix]
+
+
+def from_scipy(mat: sp.spmatrix, fmt: str = "coo") -> AnySparse:
+    """Convert a scipy sparse matrix into one of our containers.
+
+    ``fmt`` is one of ``"coo"``, ``"csr"``, ``"csc"``.
+    """
+    coo = sp.coo_matrix(mat)
+    ours = COOMatrix(
+        coo.shape,
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        coo.data.astype(np.float64),
+    )
+    if fmt == "coo":
+        return ours
+    if fmt == "csr":
+        return CSRMatrix.from_coo(ours)
+    if fmt == "csc":
+        return CSCMatrix.from_coo(ours)
+    raise ValueError(f"unknown sparse format {fmt!r}")
+
+
+def to_scipy(mat: AnySparse) -> sp.coo_matrix:
+    """Convert any of our containers into a scipy ``coo_matrix``."""
+    coo = mat if isinstance(mat, COOMatrix) else mat.to_coo()
+    return sp.coo_matrix((coo.data, (coo.row, coo.col)), shape=coo.shape)

@@ -1,0 +1,76 @@
+"""Coordinate (COO) sparse matrix container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+INDEX_BYTES = 4  # 32-bit indices, matching the accelerator's index buffers
+VALUE_BYTES = 4  # 32-bit fixed point values (Tab. V: GCoD uses 32-bit PEs)
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix stored as (row, col, value) triples.
+
+    COO is the format the denser branch assumes for adjacency/feature inputs
+    ("either dense or COO format inputs ... for reduced controlling
+    overhead", Sec. V-B).
+    """
+
+    shape: tuple
+    row: np.ndarray
+    col: np.ndarray
+    data: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.row = np.asarray(self.row, dtype=np.int64)
+        self.col = np.asarray(self.col, dtype=np.int64)
+        if self.data is None:
+            self.data = np.ones(self.row.shape[0], dtype=np.float64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if not (self.row.shape == self.col.shape == self.data.shape):
+            raise ShapeError("row, col and data must have identical length")
+        if len(self.shape) != 2:
+            raise ShapeError(f"COOMatrix shape must be 2-D, got {self.shape}")
+        if self.nnz and (
+            self.row.min() < 0
+            or self.col.min() < 0
+            or self.row.max() >= self.shape[0]
+            or self.col.max() >= self.shape[1]
+        ):
+            raise ShapeError("indices out of bounds for shape %s" % (self.shape,))
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.row.shape[0])
+
+    def storage_bytes(self, value_bytes: int = VALUE_BYTES) -> int:
+        """Bytes needed to store the matrix: two indices + one value per nnz."""
+        return self.nnz * (2 * INDEX_BYTES + value_bytes)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (duplicate entries are summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (swaps row and col arrays)."""
+        return COOMatrix(
+            (self.shape[1], self.shape[0]),
+            self.col.copy(),
+            self.row.copy(),
+            self.data.copy(),
+        )
+
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy with entries ordered by (row, col)."""
+        order = np.lexsort((self.col, self.row))
+        return COOMatrix(
+            self.shape, self.row[order], self.col[order], self.data[order]
+        )

@@ -1,0 +1,89 @@
+"""Compressed Sparse Column (CSC) matrix container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.coo import INDEX_BYTES, VALUE_BYTES, COOMatrix
+
+
+@dataclass
+class CSCMatrix:
+    """A sparse matrix in compressed-column form.
+
+    CSC is the sparser branch's input format (Sec. V-B): distributed
+    aggregation consumes whole columns of the adjacency matrix per cycle, and
+    CSC stores one fewer index per nnz than COO, letting the off-diagonal
+    workload stay (mostly) on-chip.
+    """
+
+    shape: tuple
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self):
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.indptr.shape[0] != self.shape[1] + 1:
+            raise ShapeError("indptr length must be shape[1] + 1")
+        if self.indices.shape != self.data.shape:
+            raise ShapeError("indices and data must have identical length")
+        if int(self.indptr[-1]) != self.indices.shape[0]:
+            raise ShapeError("indptr[-1] must equal nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must be non-decreasing")
+        if self.nnz and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[0]
+        ):
+            raise ShapeError("row indices out of bounds")
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        """Build from a COO matrix by sorting entries column-major."""
+        order = np.lexsort((coo.row, coo.col))
+        counts = np.bincount(coo.col, minlength=coo.shape[1])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(coo.shape, indptr, coo.row[order], coo.data[order])
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.indices.shape[0])
+
+    def col_degrees(self) -> np.ndarray:
+        """Non-zeros per column (node in-neighbour counts for adjacency)."""
+        return np.diff(self.indptr)
+
+    def storage_bytes(self, value_bytes: int = VALUE_BYTES) -> int:
+        """Pointer array + one index + one value per nnz."""
+        return (
+            (self.shape[1] + 1) * INDEX_BYTES
+            + self.nnz * (INDEX_BYTES + value_bytes)
+        )
+
+    def to_coo(self) -> COOMatrix:
+        """Expand back to coordinate form."""
+        cols = np.repeat(np.arange(self.shape[1]), np.diff(self.indptr))
+        return COOMatrix(self.shape, self.indices.copy(), cols, self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array."""
+        return self.to_coo().to_dense()
+
+    def col_slice(self, j: int) -> tuple:
+        """Return (row indices, values) of column ``j`` without copying."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def nonempty_columns(self) -> np.ndarray:
+        """Columns with at least one non-zero.
+
+        Structural sparsification empties whole patches; fully-empty columns
+        are "entirely skipped" by the sparser branch (Sec. V-B).
+        """
+        return np.nonzero(np.diff(self.indptr) > 0)[0]

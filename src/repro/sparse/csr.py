@@ -1,0 +1,80 @@
+"""Compressed Sparse Row (CSR) matrix container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.coo import INDEX_BYTES, VALUE_BYTES, COOMatrix
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed-row form.
+
+    CSR supports the row-wise product order used by the efficiency-aware
+    pipeline's combination phase (Fig. 7c): iterate non-zeros of one row of
+    ``X``, each multiplying an entire row of ``W``.
+    """
+
+    shape: tuple
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self):
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ShapeError("indptr length must be shape[0] + 1")
+        if self.indices.shape != self.data.shape:
+            raise ShapeError("indices and data must have identical length")
+        if int(self.indptr[-1]) != self.indices.shape[0]:
+            raise ShapeError("indptr[-1] must equal nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must be non-decreasing")
+        if self.nnz and (
+            self.indices.min() < 0 or self.indices.max() >= self.shape[1]
+        ):
+            raise ShapeError("column indices out of bounds")
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Build from a COO matrix (entries are sorted; duplicates kept)."""
+        srt = coo.sorted_by_row()
+        counts = np.bincount(srt.row, minlength=coo.shape[0])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(coo.shape, indptr, srt.col, srt.data)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.indices.shape[0])
+
+    def row_degrees(self) -> np.ndarray:
+        """Non-zeros per row (node out-neighbour counts for adjacency)."""
+        return np.diff(self.indptr)
+
+    def storage_bytes(self, value_bytes: int = VALUE_BYTES) -> int:
+        """Pointer array + one index + one value per nnz."""
+        return (
+            (self.shape[0] + 1) * INDEX_BYTES
+            + self.nnz * (INDEX_BYTES + value_bytes)
+        )
+
+    def to_coo(self) -> COOMatrix:
+        """Expand back to coordinate form."""
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy())
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array."""
+        return self.to_coo().to_dense()
+
+    def row_slice(self, i: int) -> tuple:
+        """Return (column indices, values) of row ``i`` without copying."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]

@@ -1,0 +1,7 @@
+"""Shared utilities: RNG handling, table formatting, ASCII plots."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import density_plot, bar_chart
+
+__all__ = ["ensure_rng", "format_table", "density_plot", "bar_chart"]

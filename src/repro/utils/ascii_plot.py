@@ -1,0 +1,92 @@
+"""ASCII visualizations used to reproduce the paper's figures in a terminal.
+
+``density_plot`` renders a (possibly huge) sparse adjacency matrix as a small
+character grid, the terminal analogue of the paper's Fig. 4 scatter plots.
+``bar_chart`` renders log-scale speedup bars, the analogue of Figs. 9-10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+_SHADES = " .:-=+*#%@"
+
+
+def density_plot(
+    adj: sp.spmatrix,
+    size: int = 40,
+    class_bounds: Optional[Sequence[int]] = None,
+    group_bounds: Optional[Sequence[int]] = None,
+) -> str:
+    """Render a sparse matrix as a ``size``-by-``size`` density grid.
+
+    Non-zero density inside each cell maps onto a ten-level shade ramp.
+    ``class_bounds`` / ``group_bounds`` draw the paper's green/red partition
+    separators (rendered as ``|``/``+`` column and row markers).
+    """
+    coo = sp.coo_matrix(adj)
+    n_rows, n_cols = coo.shape
+    size = max(1, min(size, max(n_rows, n_cols)))
+    grid = np.zeros((size, size), dtype=np.int64)
+    row_bins = np.minimum((coo.row * size) // max(n_rows, 1), size - 1)
+    col_bins = np.minimum((coo.col * size) // max(n_cols, 1), size - 1)
+    np.add.at(grid, (row_bins, col_bins), 1)
+
+    max_count = grid.max()
+    lines = []
+    boundary_cols = set()
+    for b in class_bounds or ():
+        boundary_cols.add(min(int(b * size / max(n_cols, 1)), size - 1))
+    group_cols = set()
+    for b in group_bounds or ():
+        group_cols.add(min(int(b * size / max(n_cols, 1)), size - 1))
+
+    for r in range(size):
+        chars = []
+        for c in range(size):
+            count = grid[r, c]
+            if count == 0:
+                ch = " "
+            else:
+                # log scaling keeps single edges visible next to dense blocks
+                level = 1 + int(
+                    (len(_SHADES) - 2) * math.log1p(count) / math.log1p(max_count)
+                )
+                ch = _SHADES[min(level, len(_SHADES) - 1)]
+            if c in group_cols and ch == " ":
+                ch = "!"
+            elif c in boundary_cols and ch == " ":
+                ch = "|"
+            chars.append(ch)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log: bool = True,
+    title: str = "",
+    unit: str = "x",
+) -> str:
+    """Render a horizontal bar chart; log-scaled by default (like Fig. 9)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    vmax = max(max(values), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if log:
+            frac = math.log1p(max(value, 0.0)) / math.log1p(vmax)
+        else:
+            frac = max(value, 0.0) / vmax
+        bar = "#" * max(1 if value > 0 else 0, int(round(frac * width)))
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {value:,.1f}{unit}")
+    return "\n".join(lines)

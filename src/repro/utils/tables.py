@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the evaluation harness.
+
+The paper reports results as tables and bar charts; the harness renders both
+as monospace text so every experiment is reproducible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_fmt: str = ".2f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows: List[List[str]] = [
+        [_render_cell(v, float_fmt) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

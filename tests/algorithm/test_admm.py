@@ -1,0 +1,90 @@
+"""Step 2 (ADMM sparsify + polarize) unit tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithm import GCoDConfig, admm_sparsify_polarize, polarization_loss
+from repro.algorithm.admm import _project_topk, _undirected_pairs
+from repro.nn.models import build_model
+from repro.nn.training import train_model
+
+
+def test_project_topk_keeps_largest():
+    out = _project_topk(np.array([3.0, -5.0, 1.0, 4.0]), 2)
+    assert np.array_equal(out, [0.0, -5.0, 0.0, 4.0])
+
+
+def test_project_topk_edges():
+    values = np.array([1.0, 2.0])
+    assert np.array_equal(_project_topk(values, 0), [0.0, 0.0])
+    assert np.array_equal(_project_topk(values, 5), values)
+
+
+def test_undirected_pairs_symmetric_entries_share_id(tiny_graph):
+    rows, cols, pair_id = _undirected_pairs(sp.csr_matrix(tiny_graph.adj))
+    lookup = {}
+    for r, c, p in zip(rows, cols, pair_id):
+        key = (min(r, c), max(r, c))
+        assert lookup.setdefault(key, p) == p
+    assert pair_id.max() + 1 == tiny_graph.num_edges
+
+
+def test_polarization_loss_prefers_diagonal():
+    n = 50
+    near = sp.csr_matrix((np.ones(2), ([1, 2], [2, 1])), shape=(n, n))
+    far = sp.csr_matrix((np.ones(2), ([0, n - 1], [n - 1, 0])), shape=(n, n))
+    assert polarization_loss(near) < polarization_loss(far)
+
+
+def test_polarization_loss_empty():
+    assert polarization_loss(sp.csr_matrix((4, 4))) == 0.0
+
+
+@pytest.fixture(scope="module")
+def tuned(request):
+    tiny = request.getfixturevalue("tiny_graph")
+    model = build_model("gcn", tiny, rng=0)
+    train_model(model, tiny, epochs=15)
+    config = GCoDConfig(
+        prune_ratio=0.2, admm_iterations=2, admm_inner_steps=4, seed=0,
+        pola_weight=2.0,
+    )
+    return tiny, admm_sparsify_polarize(tiny, model, config), model
+
+
+def test_admm_prunes_to_target(tuned):
+    graph, result, _ = tuned
+    # protect_connectivity can keep slightly more than the target
+    assert 0.75 <= result.kept_edge_fraction <= 0.95
+
+
+def test_admm_output_symmetric_binary(tuned):
+    graph, result, _ = tuned
+    pruned = result.pruned_adj
+    assert abs(pruned - pruned.T).nnz == 0
+    assert set(np.unique(pruned.data)) <= {1.0}
+
+
+def test_admm_no_isolated_nodes(tuned):
+    graph, result, _ = tuned
+    degrees = np.asarray(result.pruned_adj.sum(axis=1)).ravel()
+    assert degrees.min() >= 1
+
+
+def test_admm_no_new_edges(tuned):
+    graph, result, _ = tuned
+    # pruned support must be a subset of the original support
+    extra = result.pruned_adj - result.pruned_adj.multiply(graph.adj)
+    assert abs(extra).nnz == 0
+
+
+def test_admm_restores_model_grad_flags(tuned):
+    _, _, model = tuned
+    assert all(p.requires_grad for p in model.parameters())
+
+
+def test_admm_history_recorded(tuned):
+    _, result, _ = tuned
+    assert len(result.history) == 2
+    assert all("task_loss" in h for h in result.history)

@@ -1,0 +1,87 @@
+"""Step 3 (structural patch pruning) unit tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithm import patch_nnz_counts, structural_sparsify
+
+
+def _blocky_adj():
+    """16x16 matrix: one dense 4x4 block, a few scattered singletons."""
+    n = 16
+    dense = np.zeros((n, n))
+    dense[:4, :4] = 1.0
+    np.fill_diagonal(dense, 0.0)
+    dense[10, 2] = 1.0
+    dense[2, 10] = 1.0
+    dense[14, 5] = 1.0
+    dense[5, 14] = 1.0
+    return sp.csr_matrix(dense)
+
+
+def test_patch_counts_sum_to_nnz():
+    adj = _blocky_adj()
+    counts = patch_nnz_counts(adj, 4)
+    assert counts.sum() == adj.nnz
+
+
+def test_patch_counts_shape():
+    counts = patch_nnz_counts(_blocky_adj(), 5)
+    assert counts.shape == (4, 4)  # ceil(16/5) = 4
+
+
+def test_patch_counts_symmetric_for_symmetric_input():
+    counts = patch_nnz_counts(_blocky_adj(), 4).toarray()
+    assert np.array_equal(counts, counts.T)
+
+
+def test_sparse_patches_pruned_dense_kept():
+    adj = _blocky_adj()
+    result = structural_sparsify(adj, patch_threshold=3, patch_size=4,
+                                 off_diagonal_only=False)
+    # The dense 4x4 block (12 nnz) survives; the singleton patches die.
+    assert result.pruned_adj[1, 2] == 1.0
+    assert result.pruned_adj[10, 2] == 0.0
+    assert result.removed_edges == 2
+
+
+def test_threshold_zero_prunes_nothing():
+    adj = _blocky_adj()
+    result = structural_sparsify(adj, patch_threshold=0, patch_size=4)
+    assert result.pruned_adj.nnz == adj.nnz
+    assert result.removed_fraction == 0.0
+
+
+def test_huge_threshold_prunes_everything_offdiagonal():
+    adj = _blocky_adj()
+    result = structural_sparsify(adj, patch_threshold=1000, patch_size=4,
+                                 off_diagonal_only=False)
+    assert result.pruned_adj.nnz == 0
+
+
+def test_result_stays_symmetric():
+    adj = _blocky_adj()
+    result = structural_sparsify(adj, patch_threshold=3, patch_size=4,
+                                 off_diagonal_only=False)
+    assert abs(result.pruned_adj - result.pruned_adj.T).nnz == 0
+
+
+def test_layout_protects_diagonal_blocks(partitioned):
+    graph, layout = partitioned
+    result = structural_sparsify(
+        graph.adj, layout=layout, patch_threshold=10**9, patch_size=8,
+        off_diagonal_only=True,
+    )
+    dense_before, _ = layout.split(graph.adj)
+    dense_after, _ = layout.split(result.pruned_adj)
+    # Even with an absurd threshold, diagonal-block entries survive.
+    assert dense_after.nnz == dense_before.nnz
+
+
+def test_counts_report(partitioned):
+    graph, layout = partitioned
+    result = structural_sparsify(graph.adj, layout=layout,
+                                 patch_threshold=5, patch_size=8)
+    assert 0 <= result.pruned_patches <= result.total_patches
+    assert 0.0 <= result.removed_fraction <= 1.0

@@ -1,0 +1,103 @@
+"""Compiler pipeline: parser, allocator, templates, end-to-end compile."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    allocate,
+    compile_accelerator,
+    emit_templates,
+    parse_network,
+)
+from repro.errors import CompileError
+
+
+def test_parse_gcn(tiny_graph):
+    net = parse_network(tiny_graph, "gcn", hidden=16)
+    assert net.num_layers == 2
+    assert net.feature_dim == tiny_graph.num_features
+    assert net.output_dim == tiny_graph.num_classes
+    assert net.layers[0].f_out == 16
+    assert all(l.kind == "gcn-conv" for l in net.layers)
+
+
+def test_parse_resgcn_marks_linear_layers(tiny_graph):
+    net = parse_network(tiny_graph, "resgcn")
+    kinds = [l.kind for l in net.layers]
+    assert kinds[0] == "linear" and kinds[-1] == "linear"
+    assert kinds[1] == "gcn-conv"
+
+
+def test_allocate_proportional_pes():
+    alloc = allocate(
+        dense_macs_per_class=[3000.0, 1000.0],
+        sparse_macs=1000.0,
+        dense_bytes_per_class=[300.0, 100.0],
+        sparse_bytes=100.0,
+        total_pes=1000,
+    )
+    pes = [c.pes for c in alloc.chunks] + [alloc.sparser.pes]
+    assert sum(pes) <= 1000
+    assert pes[0] > pes[1]  # 3x the workload -> more PEs
+    assert pes[0] == pytest.approx(600, abs=30)
+
+
+def test_allocate_minimum_one_pe_each():
+    alloc = allocate([1e9, 1.0], 1.0, [1e9, 1.0], 1.0, total_pes=64)
+    assert all(c.pes >= 1 for c in alloc.all_allocations())
+
+
+def test_allocate_validates_budget():
+    alloc = allocate([10.0], 5.0, [10.0], 5.0, total_pes=100)
+    alloc.validate()  # must not raise
+
+
+def test_allocate_rejects_empty_classes():
+    with pytest.raises(CompileError):
+        allocate([], 1.0, [], 1.0)
+
+
+def test_allocate_rejects_tiny_budget():
+    with pytest.raises(CompileError):
+        allocate([1.0, 1.0, 1.0], 1.0, [1.0, 1.0, 1.0], 1.0, total_pes=2)
+
+
+def test_bandwidth_allocation_sums_to_budget():
+    alloc = allocate([2.0, 2.0], 1.0, [600.0, 300.0], 100.0,
+                     total_bandwidth_gbps=460.0)
+    total = sum(c.bandwidth_gbps for c in alloc.all_allocations())
+    assert total == pytest.approx(460.0)
+
+
+def test_templates_render(tiny_graph):
+    net = parse_network(tiny_graph, "gcn")
+    alloc = allocate([10.0], 5.0, [10.0], 5.0, total_pes=128)
+    text = emit_templates(net, alloc)
+    assert "`define NUM_CHUNKS" in text
+    assert "CHUNK0_PES" in text
+    assert "CHUNK_SPARSE_PES" in text
+    assert "LAYER0_DIMS" in text
+
+
+def test_compile_end_to_end(gcod_result):
+    compiled = compile_accelerator(
+        gcod_result.final_graph, "gcn", layout=gcod_result.layout
+    )
+    assert len(compiled.allocation.chunks) == gcod_result.layout.num_classes
+    report = compiled.run()
+    assert report.latency_s > 0
+    assert "NUM_CHUNKS" in compiled.template
+
+
+def test_compile_unpartitioned_graph(tiny_graph):
+    compiled = compile_accelerator(tiny_graph, "gcn")
+    assert len(compiled.allocation.chunks) == 1  # single-chunk fallback
+    assert compiled.run().latency_s > 0
+
+
+def test_compile_8bit_variant(gcod_result):
+    compiled = compile_accelerator(
+        gcod_result.final_graph, "gcn", layout=gcod_result.layout, bits=8
+    )
+    assert compiled.accelerator.bits == 8
+    assert "PRECISION_BITS    8" in compiled.template

@@ -1,0 +1,34 @@
+"""CLI dynamic commands (train / simulate) at micro scale."""
+
+import pytest
+
+from repro.cli import _cmd_simulate, _cmd_train
+from repro.evaluation import EvalContext
+
+
+class _Args:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+@pytest.fixture(scope="module")
+def micro_ctx():
+    ctx = EvalContext(profile="fast")
+    ctx.dataset_scales = {"cora": 0.06}
+    return ctx
+
+
+def test_cli_train_command(micro_ctx, capsys):
+    assert _cmd_train(_Args(dataset="cora", arch="gcn"), micro_ctx) == 0
+    out = capsys.readouterr().out
+    assert "GCoD[gcn]" in out
+    assert "early-bird epoch" in out
+    assert "BlockLayout" in out
+
+
+def test_cli_simulate_command(micro_ctx, capsys):
+    args = _Args(dataset="cora", arch="gcn")
+    assert _cmd_simulate(args, micro_ctx) == 0
+    out = capsys.readouterr().out
+    assert "speedup over PyG-CPU" in out
+    assert "gcod" in out and "awb-gcn" in out

@@ -1,0 +1,133 @@
+"""Evaluation harness: context caching and every experiment module runs."""
+
+import pytest
+
+from repro.evaluation import EvalContext, reference
+from repro.evaluation.context import ExperimentResult
+from repro.evaluation.experiments import (
+    fig04_visualization,
+    fig09_citation_speedups,
+    fig10_large_speedups,
+    fig11_memory,
+    fig12_energy,
+    tab03_datasets,
+    tab04_models,
+    tab05_systems,
+    tab06_breakdown,
+    tab07_accuracy,
+    training_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Extra-small profile for test time: shrink the fast scales further.
+    context = EvalContext(profile="fast")
+    context.dataset_scales = {
+        "cora": 0.08, "citeseer": 0.06, "pubmed": 0.015,
+        "nell": 0.004, "ogbn-arxiv": 0.002, "reddit": 0.0015,
+    }
+    return context
+
+
+def test_context_caches_graphs(ctx):
+    assert ctx.graph("cora") is ctx.graph("cora")
+
+
+def test_context_caches_gcod_runs(ctx):
+    assert ctx.gcod("cora", "gcn") is ctx.gcod("cora", "gcn")
+
+
+def test_workload_stages_differ(ctx):
+    part = ctx.gcod_workload("cora", "gcn", stage="partitioned")
+    final = ctx.gcod_workload("cora", "gcn", stage="final")
+    assert final.adjacency.nnz < part.adjacency.nnz  # pruning happened
+
+
+def test_speedups_include_gcod_win(ctx):
+    speedups = ctx.speedups_over_cpu("cora", "gcn", ("awb-gcn", "gcod"))
+    assert speedups["gcod"] > speedups["awb-gcn"] > 1.0
+
+
+def test_experiment_result_rendering():
+    res = ExperimentResult("T", ("a", "b"), [(1, 2)], extra_text="note")
+    text = res.render()
+    assert "T" in text and "note" in text
+    assert res.as_dict() == {"a": [1], "b": [2]}
+
+
+def test_tab03_runs(ctx):
+    res = tab03_datasets.run(ctx, datasets=("cora",))
+    assert res.rows[0][0] == "cora"
+    assert res.rows[0][1] == 2708  # paper N
+
+
+def test_tab04_static():
+    res = tab04_models.run()
+    assert len(res.rows) == 5
+
+
+def test_tab05_static():
+    res = tab05_systems.run()
+    assert len(res.rows) == 9
+    assert "Tab. I" in res.extra_text and "Tab. II" in res.extra_text
+
+
+def test_fig04_runs(ctx):
+    res = fig04_visualization.run(ctx, datasets=("cora",), plot_size=16)
+    assert "before GCoD" in res.extra_text
+    assert len(res.rows) == 1
+
+
+def test_fig09_runs(ctx):
+    res = fig09_citation_speedups.run(
+        ctx, datasets=("cora",), models=("gcn",),
+        platforms=("awb-gcn", "gcod"),
+    )
+    cols = res.as_dict()
+    assert cols["gcod"][0] > cols["awb-gcn"][0]
+
+
+def test_fig10_runs(ctx):
+    res = fig10_large_speedups.run(
+        ctx, cases=(("gcn", "nell"),), platforms=("awb-gcn", "gcod")
+    )
+    assert len(res.rows) == 1
+
+
+def test_fig11_runs(ctx):
+    res = fig11_memory.run(ctx, datasets=("cora",))
+    cols = res.as_dict()
+    assert cols["gcod BW"][0] < cols["hygcn BW"][0]
+
+
+def test_fig12_fractions_sum(ctx):
+    res = fig12_energy.run(ctx, models=("gcn",), datasets=("cora",))
+    row = res.rows[0]
+    assert sum(row[2:8]) == pytest.approx(100.0, abs=1.0)
+
+
+def test_tab06_monotone_improvements(ctx):
+    res = tab06_breakdown.run(ctx, datasets=("cora",))
+    cols = res.as_dict()
+    assert cols["cora"][3] > cols["cora"][1]  # quantized > accel-only
+    assert cols["cora"][1] > cols["cora"][0]  # gcod accel > awb
+
+
+def test_tab07_runs(ctx):
+    res = tab07_accuracy.run(
+        ctx, models=("gcn",), datasets=("cora",), epochs=10
+    )
+    row = res.rows[0]
+    assert all(0.0 <= v <= 100.0 for v in row[2:])
+
+
+def test_training_cost_runs(ctx):
+    res = training_cost.run(ctx, datasets=("cora",))
+    assert len(res.rows) == 1
+
+
+def test_reference_values_present():
+    assert reference.SPEEDUP_OVER["awb-gcn"] == 2.5
+    assert reference.TABLE_VI["gcod-accel"]["cora"] == 1824
+    assert reference.TRAINING_COST_RANGE == (0.7, 1.1)

@@ -1,0 +1,44 @@
+"""Tests for the extension experiments (design ablation, reordering)."""
+
+import pytest
+
+from repro.evaluation import EvalContext
+from repro.evaluation.experiments import ablation_design, reordering_compare
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = EvalContext(profile="fast")
+    context.dataset_scales = {"cora": 0.08, "reddit": 0.0015}
+    return context
+
+
+def test_ablation_design_structure(ctx):
+    res = ablation_design.run(ctx, dataset="cora", agg_heavy_dataset="reddit")
+    cols = res.as_dict()
+    assert cols["variant"].count("full gcod") == 2
+    # No ablated variant beats the full design.
+    assert all(v >= 0.99 for v in cols["latency vs full"])
+
+
+def test_ablation_design_forwarding_traffic(ctx):
+    res = ablation_design.run(ctx, dataset="cora", agg_heavy_dataset="reddit")
+    cols = res.as_dict()
+    for i, variant in enumerate(cols["variant"]):
+        if variant == "w/o weight forwarding":
+            assert cols["offchip vs full"][i] >= 1.0
+
+
+def test_reordering_compare_gcod_wins(ctx):
+    res = reordering_compare.run(ctx, dataset="cora")
+    cols = res.as_dict()
+    by_name = dict(zip(cols["ordering"], cols["polarization loss"]))
+    # Full GCoD ends up the most diagonal of all orderings.
+    others = [v for k, v in by_name.items() if k != "gcod steps 1-3 (full)"]
+    assert by_name["gcod steps 1-3 (full)"] <= min(others)
+
+
+def test_reordering_compare_baselines_present(ctx):
+    res = reordering_compare.run(ctx, dataset="cora")
+    names = set(res.as_dict()["ordering"])
+    assert {"rcm", "degree-sort", "bfs-community", "original order"} <= names

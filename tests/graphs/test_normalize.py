@@ -1,0 +1,60 @@
+"""Normalization: Eq. (1)'s symmetric normalization and row-mean variant."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import add_self_loops, row_normalize, symmetric_normalize
+
+
+@pytest.fixture()
+def path_graph():
+    # 0 - 1 - 2 (path), plus isolated node 3
+    return sp.csr_matrix(
+        (np.ones(4), ([0, 1, 1, 2], [1, 0, 2, 1])), shape=(4, 4)
+    )
+
+
+def test_add_self_loops_sets_diagonal(path_graph):
+    with_loops = add_self_loops(path_graph)
+    assert np.allclose(with_loops.diagonal(), 1.0)
+    assert with_loops.nnz == path_graph.nnz + 4
+
+
+def test_symmetric_normalize_matches_formula(path_graph):
+    a_hat = symmetric_normalize(path_graph).toarray()
+    a = path_graph.toarray() + np.eye(4)
+    d = a.sum(axis=1)
+    expected = a / np.sqrt(np.outer(d, d))
+    np.testing.assert_allclose(a_hat, expected, atol=1e-12)
+
+
+def test_symmetric_normalize_is_symmetric(path_graph):
+    a_hat = symmetric_normalize(path_graph)
+    assert abs(a_hat - a_hat.T).max() < 1e-12
+
+
+def test_symmetric_normalize_eigenvalues_bounded(path_graph):
+    # Â's spectrum lies in [-1, 1]: the renormalization-trick guarantee.
+    a_hat = symmetric_normalize(path_graph).toarray()
+    eigs = np.linalg.eigvalsh(a_hat)
+    assert eigs.max() <= 1.0 + 1e-9
+    assert eigs.min() >= -1.0 - 1e-9
+
+
+def test_zero_degree_without_self_loops_stays_zero():
+    adj = sp.csr_matrix((3, 3))
+    a_hat = symmetric_normalize(adj, self_loops=False)
+    assert a_hat.nnz == 0  # no NaNs, no infs
+
+
+def test_row_normalize_rows_sum_to_one(path_graph):
+    rn = row_normalize(path_graph).toarray()
+    np.testing.assert_allclose(rn.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_row_normalize_without_self_loops(path_graph):
+    rn = row_normalize(path_graph, self_loops=False).toarray()
+    # Rows with neighbours sum to 1; the isolated node's row stays zero.
+    np.testing.assert_allclose(rn[:3].sum(axis=1), 1.0)
+    assert rn[3].sum() == 0.0

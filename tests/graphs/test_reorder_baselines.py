@@ -1,0 +1,49 @@
+"""Reordering baselines (Sec. II comparison points)."""
+
+import numpy as np
+
+from repro.algorithm.admm import polarization_loss
+from repro.graphs.reorder import (
+    REORDERING_BASELINES,
+    bfs_community_permutation,
+    degree_sort_permutation,
+    permute_graph,
+)
+
+
+def test_baseline_registry():
+    assert set(REORDERING_BASELINES) == {"rcm", "degree-sort", "bfs-community"}
+
+
+def test_degree_sort_orders_by_degree(small_graph):
+    perm = degree_sort_permutation(small_graph)
+    degrees = small_graph.degrees()[perm]
+    assert np.all(np.diff(degrees) <= 0)  # descending
+
+
+def test_degree_sort_ascending(small_graph):
+    perm = degree_sort_permutation(small_graph, descending=False)
+    degrees = small_graph.degrees()[perm]
+    assert np.all(np.diff(degrees) >= 0)
+
+
+def test_bfs_permutation_is_valid(small_graph):
+    perm = bfs_community_permutation(small_graph)
+    assert np.array_equal(np.sort(perm), np.arange(small_graph.num_nodes))
+
+
+def test_bfs_improves_polarization(small_graph):
+    # BFS locality ordering must bring edges nearer the diagonal than a
+    # random order (the whole point of reordering baselines).
+    rng = np.random.default_rng(0)
+    random_order = permute_graph(small_graph, rng.permutation(small_graph.num_nodes))
+    bfs_order = permute_graph(small_graph, bfs_community_permutation(small_graph))
+    assert polarization_loss(bfs_order.adj) < polarization_loss(random_order.adj)
+
+
+def test_all_baselines_preserve_structure(small_graph):
+    for name, fn in REORDERING_BASELINES.items():
+        perm = fn(small_graph)
+        reordered = permute_graph(small_graph, perm)
+        assert reordered.num_edges == small_graph.num_edges, name
+        assert sorted(reordered.degrees()) == sorted(small_graph.degrees()), name

@@ -1,0 +1,156 @@
+"""Platform models: sanity, orderings, and paper-shape assertions."""
+
+import pytest
+
+from repro.hardware import extract_workload
+from repro.hardware.accelerators import (
+    AWBGCN,
+    ALVEO_U50,
+    DeepburningGL,
+    GCoDAccelerator,
+    HyGCN,
+    KCU1500,
+    ZC706,
+    all_platforms,
+    pyg_cpu,
+    pyg_gpu,
+    system_configurations,
+)
+from repro.hardware.accelerators.gcod import branch_characteristics
+
+
+@pytest.fixture(scope="module")
+def workloads(request):
+    gcod_result = request.getfixturevalue("gcod_result")
+    small_graph = request.getfixturevalue("small_graph")
+    base = extract_workload(small_graph, None, "gcn")
+    treated = extract_workload(
+        gcod_result.final_graph, gcod_result.layout, "gcn"
+    )
+    return base, treated
+
+
+def _positive_report(report):
+    assert report.latency_s > 0
+    assert report.total_macs > 0
+    assert report.offchip_bytes >= 0
+    assert report.energy.total_j > 0
+
+
+def test_all_platforms_run(workloads):
+    base, treated = workloads
+    for name, platform in all_platforms().items():
+        wl = treated if name.startswith("gcod") else base
+        _positive_report(platform.run(wl))
+
+
+def test_platform_registry_complete():
+    names = set(all_platforms())
+    assert {"pyg-cpu", "dgl-cpu", "pyg-gpu", "dgl-gpu", "hygcn", "awb-gcn",
+            "gcod", "gcod-8bit"} <= names
+    assert len([n for n in names if n.startswith("deepburning")]) == 3
+
+
+def test_cpu_slowest_platform(workloads):
+    base, treated = workloads
+    plats = all_platforms()
+    cpu = plats["pyg-cpu"].run(base).latency_s
+    for name, p in plats.items():
+        wl = treated if name.startswith("gcod") else base
+        assert p.run(wl).latency_s <= cpu
+
+
+def test_paper_ordering_holds(workloads):
+    # The headline ordering: GCoD-8bit < GCoD < AWB-GCN < HyGCN < GPU.
+    base, treated = workloads
+    plats = all_platforms()
+    gcod8 = plats["gcod-8bit"].run(treated).latency_s
+    gcod = plats["gcod"].run(treated).latency_s
+    awb = plats["awb-gcn"].run(base).latency_s
+    hygcn = plats["hygcn"].run(base).latency_s
+    gpu = plats["pyg-gpu"].run(base).latency_s
+    assert gcod8 < gcod < awb < hygcn < gpu
+
+
+def test_gcod_beats_awb_within_paper_band(workloads):
+    base, treated = workloads
+    ratio = AWBGCN().run(base).latency_s / GCoDAccelerator().run(treated).latency_s
+    assert 1.2 < ratio < 6.0  # paper: 1.6-4.3 per dataset, 2.5 average
+
+
+def test_8bit_speedup_band(workloads):
+    _, treated = workloads
+    ratio = (
+        GCoDAccelerator(bits=32).run(treated).latency_s
+        / GCoDAccelerator(bits=8).run(treated).latency_s
+    )
+    assert 1.5 < ratio < 3.5  # paper: ~2x
+
+
+def test_gcod_needs_less_bandwidth_than_hygcn(workloads):
+    base, treated = workloads
+    hygcn = HyGCN().run(base)
+    gcod = GCoDAccelerator().run(treated)
+    assert gcod.required_bandwidth_gbps < hygcn.required_bandwidth_gbps
+
+
+def test_gcod_fewer_offchip_accesses(workloads):
+    base, treated = workloads
+    hygcn = HyGCN().run(base)
+    gcod = GCoDAccelerator().run(treated)
+    assert gcod.offchip_bytes < hygcn.offchip_bytes
+
+
+def test_fpga_platform_ordering(workloads):
+    base, _ = workloads
+    zc706 = DeepburningGL(ZC706).run(base).latency_s
+    kcu = DeepburningGL(KCU1500).run(base).latency_s
+    u50 = DeepburningGL(ALVEO_U50).run(base).latency_s
+    assert u50 < kcu < zc706  # bigger FPGA -> faster
+
+
+def test_gcod_treated_beats_untreated(workloads):
+    # The algorithm matters: same accelerator on the raw graph is slower
+    # or equal (no balanced classes, no pruning, nothing to forward).
+    base, treated = workloads
+    accel = GCoDAccelerator()
+    assert accel.run(treated).latency_s <= accel.run(base).latency_s * 1.05
+
+
+def test_gcod_rejects_bad_bits():
+    with pytest.raises(ValueError):
+        GCoDAccelerator(bits=16)
+
+
+def test_gpu_faster_than_cpu(workloads):
+    base, _ = workloads
+    assert pyg_gpu().run(base).latency_s < pyg_cpu().run(base).latency_s
+
+
+def test_speedup_over_is_latency_ratio(workloads):
+    base, _ = workloads
+    a = pyg_cpu().run(base)
+    b = pyg_gpu().run(base)
+    assert b.speedup_over(a) == pytest.approx(a.latency_s / b.latency_s)
+
+
+def test_report_notes_record_pipeline(workloads):
+    _, treated = workloads
+    report = GCoDAccelerator().run(treated)
+    assert any(k.startswith("pipeline_") for k in report.notes)
+    assert "num_chunks" in report.notes
+
+
+def test_energy_breakdown_sums(workloads):
+    _, treated = workloads
+    report = GCoDAccelerator().run(treated)
+    total = report.energy.total_j
+    parts = (
+        report.combination.energy.total_j + report.aggregation.energy.total_j
+    )
+    assert total == pytest.approx(parts)
+
+
+def test_static_tables():
+    assert len(system_configurations()) == 9
+    assert len(branch_characteristics()) == 3

@@ -1,0 +1,95 @@
+"""Functional two-pronged execution: numerical equivalence + measured rates."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.functional import (
+    ExecutionTrace,
+    execute_gcn,
+    execute_layer,
+    reference_gcn,
+)
+
+
+@pytest.fixture(scope="module")
+def weights(request):
+    graph = request.getfixturevalue("partitioned")[0]
+    rng = np.random.default_rng(0)
+    return [
+        rng.normal(size=(graph.num_features, 16)) * 0.3,
+        rng.normal(size=(16, graph.num_classes)) * 0.3,
+    ]
+
+
+def test_execution_matches_reference(partitioned, weights):
+    graph, layout = partitioned
+    out, _ = execute_gcn(graph, layout, weights)
+    ref = reference_gcn(graph, weights)
+    np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+def test_single_layer_with_relu(partitioned, weights):
+    graph, layout = partitioned
+    result = execute_layer(graph, layout, graph.features, weights[0],
+                           apply_relu=True)
+    assert result.output.min() >= 0.0
+
+
+def test_trace_macs_partition(partitioned, weights):
+    graph, layout = partitioned
+    _, traces = execute_gcn(graph, layout, weights)
+    from repro.graphs.normalize import symmetric_normalize
+
+    a_hat = symmetric_normalize(graph.adj)
+    dense, sparse = layout.split(a_hat)
+    t = traces[0]
+    assert t.dense_macs == dense.nnz * 16
+    assert t.sparse_macs == sparse.nnz * 16
+
+
+def test_trace_columns_accounting(partitioned, weights):
+    graph, layout = partitioned
+    _, traces = execute_gcn(graph, layout, weights)
+    t = traces[0]
+    assert t.columns_processed + t.columns_skipped == graph.num_nodes
+    assert t.columns_processed == t.forward_hits + t.forward_misses
+
+
+def test_forward_rate_in_paper_band(gcod_result):
+    # On a polarized (GCoD-trained) graph, the measured query-forwarding
+    # rate should land near the paper's ~63%.
+    graph = gcod_result.final_graph
+    layout = gcod_result.layout
+    rng = np.random.default_rng(1)
+    weights = [
+        rng.normal(size=(graph.num_features, 16)),
+        rng.normal(size=(16, graph.num_classes)),
+    ]
+    _, traces = execute_gcn(graph, layout, weights)
+    rate = traces[0].forward_rate
+    assert 0.35 < rate < 0.95
+
+
+def test_bigger_buffers_forward_more(partitioned, weights):
+    graph, layout = partitioned
+    _, small = execute_gcn(graph, layout, weights,
+                           buffer_rows=max(graph.num_nodes // 64, 1))
+    _, big = execute_gcn(graph, layout, weights,
+                         buffer_rows=graph.num_nodes)
+    assert big[0].forward_rate >= small[0].forward_rate
+    assert big[0].forward_rate == pytest.approx(1.0)
+
+
+def test_chunk_balance_close_to_layout_metric(partitioned, weights):
+    graph, layout = partitioned
+    _, traces = execute_gcn(graph, layout, weights)
+    # The executed chunk balance is a per-class aggregate of the layout's
+    # per-subgraph balance; both must be healthy on a METIS-balanced layout.
+    assert traces[0].chunk_balance() > 0.3
+
+
+def test_empty_trace_defaults():
+    t = ExecutionTrace()
+    assert t.forward_rate == 0.0
+    assert t.chunk_balance() == 1.0
+    assert t.dense_macs == 0

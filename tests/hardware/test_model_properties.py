@@ -1,0 +1,122 @@
+"""Property-style sanity checks on the accelerator cost models.
+
+These pin down the monotonicities a cost model must have — more compute
+can't be slower, pruning can't add latency, quantization can't add traffic —
+so that calibration changes can't silently break the model's physics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import extract_workload
+from repro.hardware.accelerators import AWBGCN, GCoDAccelerator, HyGCN
+from repro.hardware.workload import AdjacencyProfile, GCNWorkload, LayerSpec
+
+
+def _toy_workload(nnz=10000, n=1000, f=100, dense_frac=0.6, classes=2):
+    dense = int(nnz * dense_frac)
+    per_class = (dense // classes,) * classes
+    profile = AdjacencyProfile(
+        num_nodes=n,
+        nnz=nnz,
+        dense_nnz_per_class=per_class,
+        sparse_nnz=nnz - sum(per_class),
+        class_balance=0.9,
+        num_subgraphs=8,
+        max_subgraph_nodes=n // 8,
+        skipped_col_fraction=0.1,
+        coo_bytes=nnz * 12,
+        csc_bytes=nnz * 8,
+        num_classes=classes,
+    )
+    layers = (
+        LayerSpec(f, 16, x_density=0.05),
+        LayerSpec(16, 4),
+    )
+    return GCNWorkload("toy", "toy", "gcn", layers, profile, n)
+
+
+def test_more_pes_never_slower():
+    wl = _toy_workload()
+    small = GCoDAccelerator(num_pes=1024).run(wl)
+    big = GCoDAccelerator(num_pes=8192).run(wl)
+    assert big.latency_s <= small.latency_s
+
+
+def test_more_edges_never_faster():
+    light = _toy_workload(nnz=5000)
+    heavy = _toy_workload(nnz=50000)
+    for accel in (GCoDAccelerator(), AWBGCN(), HyGCN()):
+        assert accel.run(heavy).latency_s >= accel.run(light).latency_s
+
+
+def test_quantization_reduces_traffic_and_latency():
+    wl = _toy_workload()
+    fp32 = GCoDAccelerator(bits=32).run(wl)
+    int8 = GCoDAccelerator(bits=8).run(wl)
+    assert int8.offchip_bytes < fp32.offchip_bytes
+    assert int8.latency_s < fp32.latency_s
+    assert int8.energy.total_j < fp32.energy.total_j
+
+
+def test_better_balance_never_slower():
+    wl_bad = _toy_workload()
+    object.__setattr__(wl_bad.adjacency, "__dict__", None) if False else None
+    # Rebuild with worse balance (frozen dataclass: construct a new one).
+    from dataclasses import replace
+
+    wl_worse = GCNWorkload(
+        "toy", "toy", "gcn", wl_bad.layers,
+        replace(wl_bad.adjacency, class_balance=0.3), wl_bad.num_nodes,
+    )
+    accel = GCoDAccelerator()
+    assert accel.run(wl_worse).latency_s >= accel.run(wl_bad).latency_s
+
+
+def test_higher_skip_fraction_never_more_traffic():
+    from dataclasses import replace
+
+    wl = _toy_workload()
+    wl_skippy = GCNWorkload(
+        "toy", "toy", "gcn", wl.layers,
+        replace(wl.adjacency, skipped_col_fraction=0.8), wl.num_nodes,
+    )
+    accel = GCoDAccelerator()
+    assert (
+        accel.run(wl_skippy).offchip_bytes <= accel.run(wl).offchip_bytes
+    )
+
+
+def test_wider_features_cost_more():
+    narrow = _toy_workload(f=50)
+    wide = _toy_workload(f=500)
+    for accel in (GCoDAccelerator(), AWBGCN(), HyGCN()):
+        assert accel.run(wide).latency_s >= accel.run(narrow).latency_s
+
+
+def test_zero_sparse_workload_handled():
+    wl = _toy_workload(dense_frac=1.0)
+    report = GCoDAccelerator().run(wl)
+    assert report.latency_s > 0
+    assert np.isfinite(report.latency_s)
+
+
+def test_all_dense_vs_all_sparse_both_run():
+    all_sparse = _toy_workload(dense_frac=0.0)
+    report = GCoDAccelerator().run(all_sparse)
+    assert report.latency_s > 0
+
+
+def test_forward_rate_bounds_checked():
+    with pytest.raises(ValueError):
+        GCoDAccelerator(weight_forward_rate=1.5)
+    with pytest.raises(ValueError):
+        GCoDAccelerator(weight_forward_rate=-0.1)
+
+
+def test_disabling_forwarding_only_adds_offchip():
+    wl = _toy_workload()
+    with_fwd = GCoDAccelerator().run(wl)
+    without = GCoDAccelerator(weight_forward_rate=0.0).run(wl)
+    assert without.offchip_bytes >= with_fwd.offchip_bytes
+    assert without.latency_s >= with_fwd.latency_s

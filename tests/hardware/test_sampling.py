@@ -1,0 +1,93 @@
+"""LFSR and sampling-unit tests (Sec. V-B's sampling hardware)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.sampling import LFSR, SamplingUnit
+
+
+def test_lfsr_maximal_period():
+    lfsr = LFSR(width=8, seed=1)
+    states = {lfsr.step() for _ in range(255)}
+    assert len(states) == 255  # maximal length: every non-zero state
+
+
+def test_lfsr_never_zero():
+    lfsr = LFSR(width=8, seed=0)  # zero seed is repaired
+    assert lfsr.state != 0
+    for _ in range(300):
+        assert lfsr.step() != 0
+
+
+def test_lfsr_deterministic():
+    a = LFSR(16, seed=77)
+    b = LFSR(16, seed=77)
+    assert [a.step() for _ in range(10)] == [b.step() for _ in range(10)]
+
+
+def test_lfsr_rejects_unknown_width():
+    with pytest.raises(ValueError):
+        LFSR(width=13)
+
+
+def test_next_below_in_range():
+    lfsr = LFSR(16, seed=3)
+    values = [lfsr.next_below(10) for _ in range(200)]
+    assert min(values) >= 0 and max(values) < 10
+    assert len(set(values)) == 10  # all residues reached
+
+
+def test_next_below_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        LFSR(16).next_below(0)
+
+
+def test_sample_column_caps_and_subsets():
+    unit = SamplingUnit(seed=9)
+    indices = np.arange(100)
+    picked = unit.sample_column(indices, 10)
+    assert picked.shape[0] == 10
+    assert len(np.unique(picked)) == 10  # without replacement
+    assert np.all(np.isin(picked, indices))
+
+
+def test_sample_column_small_passthrough():
+    unit = SamplingUnit(seed=9)
+    indices = np.array([3, 5])
+    assert np.array_equal(unit.sample_column(indices, 10), indices)
+
+
+def test_sample_adjacency_caps_columns(small_graph):
+    unit = SamplingUnit(seed=1)
+    sampled = unit.sample_adjacency(small_graph.adj, 4)
+    col_nnz = np.diff(sp.csc_matrix(sampled).indptr)
+    assert col_nnz.max() <= 4
+    # Sampled support is a subset of the original support.
+    extra = sampled - sampled.multiply(sp.csr_matrix(small_graph.adj))
+    assert abs(extra).nnz == 0
+
+
+def test_sampling_roughly_uniform():
+    unit = SamplingUnit(seed=5)
+    counts = np.zeros(20)
+    indices = np.arange(20)
+    for _ in range(600):
+        for v in unit.sample_column(indices, 5):
+            counts[v] += 1
+    # each element expected 150 times; allow generous tolerance
+    assert counts.min() > 75
+    assert counts.max() < 300
+
+
+@given(st.integers(1, 30), st.integers(1, 40), st.integers(1, 2**16 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sample_column_properties(n, k, seed):
+    unit = SamplingUnit(seed=seed)
+    indices = np.arange(n) * 3
+    picked = unit.sample_column(indices, k)
+    assert picked.shape[0] == min(n, k)
+    assert len(np.unique(picked)) == picked.shape[0]
+    assert np.all(np.isin(picked, indices))

@@ -1,0 +1,54 @@
+"""Sanity checks on the calibration constants (repro.hardware.units).
+
+These tests encode the physical orderings the constants must respect; a
+recalibration that violates them would silently invalidate the energy and
+latency models.
+"""
+
+from repro.hardware import units
+
+
+def test_energy_hierarchy():
+    # off-chip byte >> on-chip byte >> (comparable to) a MAC
+    assert units.DDR_PJ_PER_BYTE > units.HBM_PJ_PER_BYTE
+    assert units.HBM_PJ_PER_BYTE > 10 * units.SRAM_PJ_PER_BYTE
+    assert units.SRAM_PJ_PER_BYTE < units.MAC32_PJ
+
+
+def test_quantized_mac_cheaper():
+    assert units.MAC8_PJ < units.MAC32_PJ / 4
+
+
+def test_sw_efficiency_orderings():
+    eff = units.SW_EFFICIENCY
+    # DGL-CPU beats PyG-CPU on both phases (the paper's DGL-CPU > PyG-CPU).
+    assert eff["dgl-cpu"]["gemm"] > eff["pyg-cpu"]["gemm"]
+    assert eff["dgl-cpu"]["spmm"] > eff["pyg-cpu"]["spmm"]
+    # PyG-GPU beats DGL-GPU overall (Fig. 9's ordering).
+    assert eff["pyg-gpu"]["gemm"] > eff["dgl-gpu"]["gemm"]
+    # Every efficiency is a fraction.
+    for platform in eff.values():
+        assert 0 < platform["gemm"] <= 1
+        assert 0 < platform["spmm"] <= 1
+        assert platform["spmm"] < platform["gemm"]  # SpMM always worse
+
+
+def test_accelerator_utilization_orderings():
+    # GCoD's static schedule beats AWB's autotuned array, which beats
+    # HyGCN's gathered SIMD lanes on aggregation.
+    assert (
+        units.GCOD_STATIC_SCHEDULE_EFF
+        > units.AWB_AGG_UTILIZATION
+        >= units.GCOD_SINGLE_BRANCH_UTILIZATION
+        > units.DEEPBURNING_UTILIZATION
+    )
+    assert 0 < units.HYGCN_GATHER_HIT_RATE < 1
+    assert 0 < units.AWB_REBALANCE_OVERHEAD < 0.5
+
+
+def test_forwarding_rate_matches_paper():
+    assert units.GCOD_WEIGHT_FORWARD_RATE == 0.63
+
+
+def test_overheads_small():
+    assert 0 < units.GCOD_SYNC_OVERHEAD < 0.1

@@ -1,0 +1,101 @@
+"""Property-based tests for the autograd engine and graph ops."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.models.base import GraphOps
+from repro.nn.tensor import Tensor
+
+_floats = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_matrix(draw, max_dim=6):
+    rows = draw(st.integers(1, max_dim))
+    cols = draw(st.integers(1, max_dim))
+    values = draw(
+        st.lists(_floats, min_size=rows * cols, max_size=rows * cols)
+    )
+    return np.array(values).reshape(rows, cols)
+
+
+@given(small_matrix(), small_matrix())
+@settings(max_examples=60, deadline=None)
+def test_matmul_grad_matches_transpose_rule(a, b):
+    if a.shape[1] != b.shape[0]:
+        b = np.resize(b, (a.shape[1], 3))
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta @ tb).sum().backward()
+    ones = np.ones((a.shape[0], b.shape[1]))
+    np.testing.assert_allclose(ta.grad, ones @ b.T, atol=1e-10)
+    np.testing.assert_allclose(tb.grad, a.T @ ones, atol=1e-10)
+
+
+@given(small_matrix())
+@settings(max_examples=60, deadline=None)
+def test_sum_of_relu_grad_is_indicator(a):
+    t = Tensor(a, requires_grad=True)
+    F.relu(t).sum().backward()
+    np.testing.assert_allclose(t.grad, (a > 0).astype(float))
+
+
+@given(small_matrix())
+@settings(max_examples=60, deadline=None)
+def test_log_softmax_rows_are_distributions(a):
+    out = F.log_softmax(Tensor(a))
+    np.testing.assert_allclose(np.exp(out.data).sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(out.data <= 1e-12)
+
+
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_graphops_sym_agg_matches_dense_reference(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.4).astype(float)
+    dense = np.triu(dense, 1)
+    dense = dense + dense.T
+    adj = sp.csr_matrix(dense)
+    ops = GraphOps(adj)
+    x = rng.normal(size=(n, 3))
+    out = ops.agg_sym(Tensor(x)).data
+    from repro.graphs.normalize import symmetric_normalize
+
+    expected = symmetric_normalize(adj) @ x
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_graphops_trainable_equals_constant_at_ones(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.4).astype(float)
+    dense = np.triu(dense, 1)
+    dense = dense + dense.T
+    adj = sp.csr_matrix(dense)
+    if adj.nnz == 0:
+        return
+    x = Tensor(rng.normal(size=(n, 2)))
+    const = GraphOps(adj).agg_sym(x).data
+    weights = Tensor(np.ones(adj.nnz), requires_grad=True)
+    trainable = GraphOps(adj, edge_weights=weights).agg_sym(x).data
+    np.testing.assert_allclose(const, trainable, atol=1e-10)
+
+
+@given(
+    st.lists(st.integers(0, 4), min_size=1, max_size=30),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_segment_softmax_partition_of_unity(segments, seed):
+    rng = np.random.default_rng(seed)
+    seg = np.array(segments)
+    scores = Tensor(rng.normal(size=seg.shape[0]))
+    out = F.segment_softmax(scores, seg, 5)
+    sums = np.zeros(5)
+    np.add.at(sums, seg, out.data)
+    present = np.unique(seg)
+    np.testing.assert_allclose(sums[present], 1.0, atol=1e-9)

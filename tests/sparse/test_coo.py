@@ -1,0 +1,74 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import COOMatrix
+
+
+def _sample():
+    return COOMatrix((3, 4), [0, 1, 2, 2], [1, 0, 3, 0], [1.0, 2.0, 3.0, 4.0])
+
+
+def test_nnz_counts_stored_entries():
+    assert _sample().nnz == 4
+
+
+def test_default_data_is_ones():
+    mat = COOMatrix((2, 2), [0, 1], [1, 0])
+    assert np.array_equal(mat.data, [1.0, 1.0])
+
+
+def test_to_dense_places_values():
+    dense = _sample().to_dense()
+    assert dense[0, 1] == 1.0
+    assert dense[2, 0] == 4.0
+    assert dense.sum() == 10.0
+
+
+def test_to_dense_sums_duplicates():
+    mat = COOMatrix((2, 2), [0, 0], [0, 0], [1.5, 2.5])
+    assert mat.to_dense()[0, 0] == 4.0
+
+
+def test_transpose_swaps_axes():
+    t = _sample().transpose()
+    assert t.shape == (4, 3)
+    assert np.array_equal(t.to_dense(), _sample().to_dense().T)
+
+
+def test_sorted_by_row_orders_entries():
+    mat = COOMatrix((3, 3), [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+    srt = mat.sorted_by_row()
+    assert np.array_equal(srt.row, [0, 1, 2])
+    assert np.array_equal(srt.to_dense(), mat.to_dense())
+
+
+def test_storage_bytes_counts_two_indices_and_value():
+    assert _sample().storage_bytes() == 4 * (4 + 4 + 4)
+
+
+def test_storage_bytes_with_int8_values():
+    assert _sample().storage_bytes(value_bytes=1) == 4 * (4 + 4 + 1)
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), [0, 1], [0], [1.0, 2.0])
+
+
+def test_out_of_bounds_indices_raise():
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2), [0, 2], [0, 1])
+
+
+def test_non_2d_shape_raises():
+    with pytest.raises(ShapeError):
+        COOMatrix((2, 2, 2), [0], [0])
+
+
+def test_empty_matrix_is_valid():
+    mat = COOMatrix((5, 5), [], [])
+    assert mat.nnz == 0
+    assert mat.to_dense().sum() == 0.0

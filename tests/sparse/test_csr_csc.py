@@ -1,0 +1,97 @@
+"""Unit tests for the CSR and CSC containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+
+
+@pytest.fixture()
+def coo():
+    return COOMatrix(
+        (4, 4),
+        [0, 0, 1, 2, 3, 3],
+        [1, 3, 2, 0, 1, 2],
+        [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    )
+
+
+def test_csr_roundtrip_preserves_dense(coo):
+    csr = CSRMatrix.from_coo(coo)
+    assert np.array_equal(csr.to_dense(), coo.to_dense())
+
+
+def test_csc_roundtrip_preserves_dense(coo):
+    csc = CSCMatrix.from_coo(coo)
+    assert np.array_equal(csc.to_dense(), coo.to_dense())
+
+
+def test_csr_row_degrees(coo):
+    csr = CSRMatrix.from_coo(coo)
+    assert np.array_equal(csr.row_degrees(), [2, 1, 1, 2])
+
+
+def test_csc_col_degrees(coo):
+    csc = CSCMatrix.from_coo(coo)
+    assert np.array_equal(csc.col_degrees(), [1, 2, 2, 1])
+
+
+def test_csr_row_slice(coo):
+    csr = CSRMatrix.from_coo(coo)
+    cols, vals = csr.row_slice(0)
+    assert set(cols.tolist()) == {1, 3}
+    assert vals.sum() == 3.0
+
+
+def test_csc_col_slice(coo):
+    csc = CSCMatrix.from_coo(coo)
+    rows, vals = csc.col_slice(1)
+    assert set(rows.tolist()) == {0, 3}
+
+
+def test_csc_smaller_than_coo_for_tall_matrices():
+    # The sparser branch's argument: CSC stores one fewer index per nnz,
+    # so for nnz >> ncols it beats COO (Sec. V-B).
+    rng = np.random.default_rng(0)
+    n, nnz = 50, 600
+    coo = COOMatrix(
+        (n, n),
+        rng.integers(0, n, nnz),
+        rng.integers(0, n, nnz),
+        np.ones(nnz),
+    )
+    csc = CSCMatrix.from_coo(coo)
+    assert csc.storage_bytes() < coo.storage_bytes()
+
+
+def test_csc_nonempty_columns(coo):
+    csc = CSCMatrix.from_coo(coo)
+    assert np.array_equal(csc.nonempty_columns(), [0, 1, 2, 3])
+    empty = CSCMatrix.from_coo(COOMatrix((3, 3), [0], [1]))
+    assert np.array_equal(empty.nonempty_columns(), [1])
+
+
+def test_csr_bad_indptr_raises():
+    with pytest.raises(ShapeError):
+        CSRMatrix((2, 2), [0, 1], [0], [1.0])  # indptr too short
+
+
+def test_csr_decreasing_indptr_raises():
+    with pytest.raises(ShapeError):
+        CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 1.0])
+
+
+def test_csc_wrong_nnz_raises():
+    with pytest.raises(ShapeError):
+        CSCMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 1.0])
+
+
+def test_csr_to_coo_roundtrip(coo):
+    back = CSRMatrix.from_coo(coo).to_coo()
+    assert np.array_equal(back.to_dense(), coo.to_dense())
+
+
+def test_csc_to_coo_roundtrip(coo):
+    back = CSCMatrix.from_coo(coo).to_coo()
+    assert np.array_equal(back.to_dense(), coo.to_dense())

@@ -1,0 +1,90 @@
+"""SpMM kernels: both product orders must equal dense matmul exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    from_scipy,
+    spmm,
+    spmm_column_product,
+    spmm_row_product,
+    to_scipy,
+)
+
+
+def _random_coo(rng, n=12, m=9, nnz=40):
+    return COOMatrix(
+        (n, m),
+        rng.integers(0, n, nnz),
+        rng.integers(0, m, nnz),
+        rng.normal(size=nnz),
+    )
+
+
+def test_row_product_matches_dense(rng):
+    coo = _random_coo(rng)
+    b = rng.normal(size=(9, 5))
+    expected = coo.to_dense() @ b
+    got = spmm_row_product(CSRMatrix.from_coo(coo), b)
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_column_product_matches_dense(rng):
+    coo = _random_coo(rng)
+    b = rng.normal(size=(9, 5))
+    expected = coo.to_dense() @ b
+    got = spmm_column_product(CSCMatrix.from_coo(coo), b)
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_both_orders_agree(rng):
+    # Fig. 7's point: same product, different partial-result order.
+    coo = _random_coo(rng, n=20, m=20, nnz=80)
+    b = rng.normal(size=(20, 3))
+    row = spmm_row_product(CSRMatrix.from_coo(coo), b)
+    col = spmm_column_product(CSCMatrix.from_coo(coo), b)
+    np.testing.assert_allclose(row, col, atol=1e-12)
+
+
+def test_spmm_dispatch(rng):
+    coo = _random_coo(rng)
+    b = rng.normal(size=(9, 2))
+    np.testing.assert_allclose(
+        spmm(CSRMatrix.from_coo(coo), b), spmm(CSCMatrix.from_coo(coo), b),
+        atol=1e-12,
+    )
+
+
+def test_spmm_rejects_unknown_type():
+    with pytest.raises(TypeError):
+        spmm(np.eye(3), np.eye(3))
+
+
+def test_spmm_shape_mismatch(rng):
+    coo = _random_coo(rng)
+    with pytest.raises(ShapeError):
+        spmm_row_product(CSRMatrix.from_coo(coo), rng.normal(size=(7, 2)))
+
+
+def test_spmm_rejects_1d_operand(rng):
+    coo = _random_coo(rng)
+    with pytest.raises(ShapeError):
+        spmm_row_product(CSRMatrix.from_coo(coo), rng.normal(size=9))
+
+
+def test_scipy_roundtrip(rng):
+    coo = _random_coo(rng)
+    back = from_scipy(to_scipy(coo), "coo")
+    np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+
+def test_from_scipy_formats(rng):
+    sp_mat = to_scipy(_random_coo(rng))
+    assert isinstance(from_scipy(sp_mat, "csr"), CSRMatrix)
+    assert isinstance(from_scipy(sp_mat, "csc"), CSCMatrix)
+    with pytest.raises(ValueError):
+        from_scipy(sp_mat, "ellpack")

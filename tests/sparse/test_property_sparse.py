@@ -1,0 +1,70 @@
+"""Property-based tests (hypothesis) for the sparse containers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix, CSCMatrix, CSRMatrix
+
+
+@st.composite
+def coo_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    m = draw(st.integers(min_value=1, max_value=20))
+    nnz = draw(st.integers(min_value=0, max_value=60))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    data = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix((n, m), np.array(rows, dtype=np.int64),
+                     np.array(cols, dtype=np.int64), np.array(data))
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_dense_equal(coo):
+    assert np.allclose(CSRMatrix.from_coo(coo).to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csc_roundtrip_dense_equal(coo):
+    assert np.allclose(CSCMatrix.from_coo(coo).to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_nnz_preserved_by_conversions(coo):
+    assert CSRMatrix.from_coo(coo).nnz == coo.nnz
+    assert CSCMatrix.from_coo(coo).nnz == coo.nnz
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(coo):
+    twice = coo.transpose().transpose()
+    assert np.allclose(twice.to_dense(), coo.to_dense())
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_row_degrees_sum_to_nnz(coo):
+    csr = CSRMatrix.from_coo(coo)
+    assert int(csr.row_degrees().sum()) == coo.nnz
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_storage_csc_never_larger_than_coo_plus_pointer(coo):
+    # CSC trades one index per nnz for a column-pointer array.
+    csc = CSCMatrix.from_coo(coo)
+    assert csc.storage_bytes() <= coo.storage_bytes() + 4 * (coo.shape[1] + 1)

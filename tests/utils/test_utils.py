@@ -1,0 +1,79 @@
+"""Utility tests: RNG plumbing, tables, ASCII plots."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import bar_chart, density_plot, ensure_rng, format_table
+from repro.utils.rng import spawn
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_from_int_deterministic():
+    assert ensure_rng(5).random() == ensure_rng(5).random()
+
+
+def test_ensure_rng_none():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_children_independent():
+    parent = ensure_rng(0)
+    children = spawn(parent, 3)
+    values = [c.random() for c in children]
+    assert len(set(values)) == 3
+
+
+def test_format_table_alignment():
+    text = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_float_fmt():
+    text = format_table(("x",), [(1.23456,)], float_fmt=".1f")
+    assert "1.2" in text
+
+
+def test_density_plot_shows_diagonal():
+    n = 100
+    adj = sp.eye(n, format="csr")
+    plot = density_plot(adj, size=10)
+    lines = plot.splitlines()
+    assert len(lines) == 10
+    # every diagonal cell is non-blank
+    assert all(line[i] != " " for i, line in enumerate(lines))
+
+
+def test_density_plot_empty_matrix():
+    plot = density_plot(sp.csr_matrix((50, 50)), size=5)
+    assert set(plot.replace("\n", "")) <= {" "}
+
+
+def test_density_plot_boundaries_marked():
+    adj = sp.eye(40, format="csr")
+    plot = density_plot(adj, size=8, class_bounds=[20])
+    assert "|" in plot
+
+
+def test_bar_chart_log_scaling():
+    text = bar_chart(["a", "b"], [1.0, 1000.0], width=20)
+    a_len = text.splitlines()[0].count("#")
+    b_len = text.splitlines()[1].count("#")
+    assert b_len > a_len
+    assert b_len <= 21
+
+
+def test_bar_chart_rejects_mismatch():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], [], title="t") == "t"
