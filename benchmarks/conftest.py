@@ -11,6 +11,15 @@ import pytest
 from repro.evaluation import EvalContext
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark is slow: `-m 'not slow'` keeps the fast smoke suite."""
+    here = str(config.rootpath / "benchmarks")
+    slow = pytest.mark.slow
+    for item in items:
+        if str(item.path).startswith(here):
+            item.add_marker(slow)
+
+
 @pytest.fixture(scope="session")
 def ctx():
     return EvalContext(profile="fast")

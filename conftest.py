@@ -1,0 +1,34 @@
+"""Root pytest config: the --timings option and its summary.
+
+The option is registered here (an initial conftest for every invocation, so
+``pytest tests/sparse --timings`` works too); benchmark-specific collection
+behavior lives in ``benchmarks/conftest.py``.
+"""
+
+_TIMINGS = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--timings",
+        action="store_true",
+        default=False,
+        help="print a per-test wall-clock summary after the run "
+             "(kernel-speed regressions show up here per PR)",
+    )
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _TIMINGS.append((report.duration, report.nodeid))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not config.getoption("--timings"):
+        return
+    tr = terminalreporter
+    tr.section("timings (slowest first)")
+    total = sum(d for d, _ in _TIMINGS)
+    for duration, nodeid in sorted(_TIMINGS, reverse=True)[:25]:
+        tr.write_line(f"{duration:9.2f}s  {nodeid}")
+    tr.write_line(f"{total:9.2f}s  TOTAL ({len(_TIMINGS)} tests)")

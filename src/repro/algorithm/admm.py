@@ -121,7 +121,13 @@ def admm_sparsify_polarize(
     for _ in range(config.admm_iterations):
         for _ in range(config.admm_inner_steps):
             opt.zero_grad()
-            ops = GraphOps(adj, edge_weights=_expand(w_pairs, pair_id))
+            ops = GraphOps(
+                adj,
+                edge_weights=_expand(
+                    w_pairs, pair_id, backend=config.kernel_backend
+                ),
+                kernel_backend=config.kernel_backend,
+            )
             logits = model(x, ops)
             task_loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
             pola = (w_pairs * Tensor(dist)).sum() * Tensor(
@@ -169,14 +175,14 @@ def admm_sparsify_polarize(
     )
 
 
-def _expand(w_pairs: Tensor, pair_id: np.ndarray) -> Tensor:
+def _expand(w_pairs: Tensor, pair_id: np.ndarray, backend=None) -> Tensor:
     """Expand per-pair weights to per-stored-entry weights (differentiable).
 
     ``gather_rows`` indexes along axis 0, which for a 1-D tensor is exactly
     the per-entry expansion; its backward scatter-adds gradients from both
     stored triangles back onto the shared pair variable.
     """
-    return F.gather_rows(w_pairs, pair_id)
+    return F.gather_rows(w_pairs, pair_id, backend=backend)
 
 
 def _best_edge_per_node(

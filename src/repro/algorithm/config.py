@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigError
 
@@ -50,8 +51,17 @@ class GCoDConfig:
     lr: float = 0.01
     weight_decay: float = 5e-4
     seed: int = 0
+    # SpMM kernel backend for every aggregation the pipeline performs
+    # (None = the registry default, "vectorized").
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self):
+        if self.kernel_backend is not None:
+            # Resolve eagerly so a typo fails at configuration time with the
+            # registry's clear unknown-backend message.
+            from repro.sparse.kernels import get_backend
+
+            get_backend(self.kernel_backend)
         if not 0.0 <= self.prune_ratio < 1.0:
             raise ConfigError("prune_ratio must be in [0, 1)")
         if self.num_classes < 1 or self.num_groups < 1:

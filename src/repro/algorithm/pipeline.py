@@ -104,6 +104,7 @@ class GCoDTrainer:
             lr=cfg.lr,
             weight_decay=cfg.weight_decay,
             epoch_callback=detector,
+            kernel_backend=cfg.kernel_backend,
         )
 
         # ---------------- Step 2: sparsify + polarize, retrain ------------
@@ -117,6 +118,7 @@ class GCoDTrainer:
             epochs=cfg.retrain_epochs,
             lr=cfg.lr,
             weight_decay=cfg.weight_decay,
+            kernel_backend=cfg.kernel_backend,
         )
 
         # ---------------- Step 3: structural sparsify, retrain ------------
@@ -136,6 +138,7 @@ class GCoDTrainer:
             epochs=cfg.retrain_epochs,
             lr=cfg.lr,
             weight_decay=cfg.weight_decay,
+            kernel_backend=cfg.kernel_backend,
         )
 
         cost = self._cost_breakdown(pretrain, admm, retrain2, retrain3)

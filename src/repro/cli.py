@@ -22,6 +22,7 @@ import sys
 from typing import Callable, Dict, Optional
 
 from repro.evaluation import EvalContext
+from repro.sparse.kernels import available_backends, set_default_backend
 from repro.evaluation.experiments import (
     ablation_cs,
     ablation_design,
@@ -106,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--profile", choices=("fast", "full"), default="fast",
                         help="experiment scale profile")
+    parser.add_argument("--kernel-backend", choices=available_backends(),
+                        default=None,
+                        help="SpMM kernel backend for all numerics "
+                             "(default: vectorized)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
@@ -131,7 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    ctx = EvalContext(profile=args.profile)
+    if args.kernel_backend is not None:
+        # Make the choice process-wide so even code paths that never see the
+        # context (direct GraphOps construction, the emulator) honor it.
+        set_default_backend(args.kernel_backend)
+    ctx = EvalContext(profile=args.profile, kernel_backend=args.kernel_backend)
     return args.func(args, ctx)
 
 

@@ -13,6 +13,10 @@ class ConfigError(ReproError):
     """An invalid configuration was supplied."""
 
 
+class KernelError(ReproError):
+    """An unknown or invalid SpMM kernel backend was requested."""
+
+
 class PartitionError(ReproError):
     """Graph partitioning failed or was given invalid inputs."""
 

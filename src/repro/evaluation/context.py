@@ -56,6 +56,9 @@ class EvalContext:
 
     profile: str = "fast"
     seed: int = 0
+    #: SpMM kernel backend for every pipeline run this context performs
+    #: (None = the registry default, "vectorized").
+    kernel_backend: Optional[str] = None
     dataset_scales: Dict[str, float] = field(default_factory=dict)
     _graphs: Dict[str, Graph] = field(default_factory=dict, repr=False)
     _gcod: Dict[Tuple[str, str], GCoDResult] = field(
@@ -91,8 +94,9 @@ class EvalContext:
                 admm_iterations=2,
                 admm_inner_steps=6,
                 seed=self.seed,
+                kernel_backend=self.kernel_backend,
             )
-        return GCoDConfig(seed=self.seed)
+        return GCoDConfig(seed=self.seed, kernel_backend=self.kernel_backend)
 
     def graph(self, dataset: str) -> Graph:
         """The (cached) synthetic graph for ``dataset``."""

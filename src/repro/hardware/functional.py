@@ -34,6 +34,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.normalize import symmetric_normalize
 from repro.partition.layout import BlockLayout
 from repro.sparse import CSCMatrix, from_scipy
+from repro.sparse.kernels import BackendLike, get_backend
 
 
 @dataclass
@@ -135,16 +136,22 @@ def execute_layer(
     weight: np.ndarray,
     buffer_rows: Optional[int] = None,
     apply_relu: bool = False,
+    kernel_backend: BackendLike = None,
 ) -> LayerExecution:
     """Execute one GCN layer (combination + aggregation) as the accelerator does.
 
     ``buffer_rows`` sizes each chunk's weight buffer in XW rows; the default
     (a sixteenth of the graph) reproduces the paper's ~63% forwarding rate
-    on polarized graphs.
+    on polarized graphs. ``kernel_backend`` selects the SpMM kernels: the
+    ``reference`` backend walks chunks and columns one at a time (the
+    literal schedule), any other backend produces the identical trace with
+    batched kernels. The traffic counters are computed from the schedule's
+    geometry either way, so the accounting never changes with the backend.
     """
     n = graph.num_nodes
     if buffer_rows is None:
         buffer_rows = max(n // 16, 1)
+    kernel = get_backend(kernel_backend)
     trace = ExecutionTrace()
 
     # ------------------------------------------------------------------
@@ -158,9 +165,29 @@ def execute_layer(
 
     output = np.zeros((n, weight.shape[1]))
 
-    # ------------------------------------------------------------------
-    # denser branch: block-local COO SpMM per chunk
-    # ------------------------------------------------------------------
+    if kernel.name == "reference":
+        _dense_branch_loops(layout, dense, xw, output, weight.shape[1], trace)
+        sparse_out = _sparse_branch_loops(
+            sparse, layout, buffer_rows, xw, weight.shape[1], n, trace
+        )
+    else:
+        _dense_branch_batched(
+            layout, dense, xw, output, weight.shape[1], trace, kernel
+        )
+        sparse_out = _sparse_branch_batched(
+            sparse, layout, buffer_rows, xw, weight.shape[1], n, trace, kernel
+        )
+
+    # output synchronization: accumulate the two branches' partials.
+    output += sparse_out
+    trace.output_sync_adds += 1
+    if apply_relu:
+        output = np.maximum(output, 0.0)
+    return LayerExecution(output=output, trace=trace)
+
+
+def _dense_branch_loops(layout, dense, xw, output, width, trace) -> None:
+    """Denser branch, literal schedule: block-local COO SpMM per chunk."""
     dense_coo = dense.tocoo()
     for span in layout.spans:
         sel = (
@@ -174,18 +201,46 @@ def execute_layer(
         chunk = span.class_id
         trace.dense_macs_per_chunk[chunk] = trace.dense_macs_per_chunk.get(
             chunk, 0
-        ) + int(vals.size) * weight.shape[1]
+        ) + int(vals.size) * width
         trace.output_sync_adds += int(vals.size > 0)
 
     # Self-loops of Â live on the diagonal = inside every subgraph block;
     # layout.split assigns them to the dense branch already (row == col).
 
-    # ------------------------------------------------------------------
-    # sparser branch: CSC column walk with query-based weight forwarding
-    # ------------------------------------------------------------------
+
+def _dense_branch_batched(
+    layout, dense, xw, output, width, trace, kernel
+) -> None:
+    """Denser branch, batched: all chunks' block-local SpMMs in one kernel.
+
+    Diagonal-block entries have both endpoints in one subgraph, so the
+    per-chunk workloads partition the dense nnz by the row's subgraph; one
+    scatter-aggregation computes every chunk's partial sums while the MAC
+    counters are read off a bincount of the same partition.
+    """
+    dense_coo = dense.tocoo()
+    output += kernel.coo_spmm(
+        dense_coo.data, dense_coo.row, dense_coo.col, xw, output.shape[0]
+    )
+    per_span = np.bincount(
+        layout.node_subgraph[dense_coo.row], minlength=layout.num_subgraphs
+    )
+    for span in layout.spans:
+        nnz = int(per_span[span.subgraph_id])
+        chunk = span.class_id
+        trace.dense_macs_per_chunk[chunk] = trace.dense_macs_per_chunk.get(
+            chunk, 0
+        ) + nnz * width
+        trace.output_sync_adds += int(nnz > 0)
+
+
+def _sparse_branch_loops(
+    sparse, layout, buffer_rows, xw, width, n, trace
+) -> np.ndarray:
+    """Sparser branch, literal schedule: CSC column walk with forwarding."""
     csc: CSCMatrix = from_scipy(sparse, "csc")
     directory = WeightBufferDirectory(layout, buffer_rows)
-    sparse_out = np.zeros_like(output)
+    sparse_out = np.zeros((n, width))
     for j in range(n):
         rows_j, vals_j = csc.col_slice(j)
         if rows_j.size == 0:
@@ -199,14 +254,42 @@ def execute_layer(
         else:
             trace.forward_misses += 1
         sparse_out[rows_j] += np.outer(vals_j, xw[j])
-        trace.sparse_macs += int(rows_j.size) * weight.shape[1]
+        trace.sparse_macs += int(rows_j.size) * width
+    return sparse_out
 
-    # output synchronization: accumulate the two branches' partials.
-    output += sparse_out
-    trace.output_sync_adds += 1
-    if apply_relu:
-        output = np.maximum(output, 0.0)
-    return LayerExecution(output=output, trace=trace)
+
+def _sparse_branch_batched(
+    sparse, layout, buffer_rows, xw, width, n, trace, kernel
+) -> np.ndarray:
+    """Sparser branch, batched: one column-product SpMM + closed-form hits.
+
+    The directory query for column ``j`` depends only on geometry — the
+    owning span of row ``j`` and the matched sweep progress ``j / n`` — so
+    the hit/miss decision of every non-empty column is evaluated as one
+    array expression, exactly mirroring :class:`WeightBufferDirectory`.
+    """
+    csc = sparse.tocsc()
+    col_nnz = np.diff(csc.indptr)
+    nonempty = np.nonzero(col_nnz > 0)[0]
+    trace.columns_processed += int(nonempty.size)
+    trace.columns_skipped += int(n - nonempty.size)
+    trace.sparse_macs += int(col_nnz.sum()) * width
+
+    span_start = np.zeros(n, dtype=np.float64)
+    span_size = np.zeros(n, dtype=np.float64)
+    covered = np.zeros(n, dtype=bool)
+    for span in layout.spans:
+        span_start[span.start:span.stop] = span.start
+        span_size[span.start:span.stop] = span.size
+        covered[span.start:span.stop] = True
+    progress = nonempty / max(n, 1)
+    sweep = span_start[nonempty] + progress * span_size[nonempty]
+    # A row outside every span has no owning chunk: always a miss.
+    hits = (np.abs(nonempty - sweep) <= buffer_rows) & covered[nonempty]
+    trace.forward_hits += int(hits.sum())
+    trace.forward_misses += int(nonempty.size - hits.sum())
+
+    return kernel.spmm_column_product(csc, xw)
 
 
 def execute_gcn(
@@ -214,6 +297,7 @@ def execute_gcn(
     layout: BlockLayout,
     weights: List[np.ndarray],
     buffer_rows: Optional[int] = None,
+    kernel_backend: BackendLike = None,
 ) -> Tuple[np.ndarray, List[ExecutionTrace]]:
     """Execute a full multi-layer GCN the accelerator way.
 
@@ -231,6 +315,7 @@ def execute_gcn(
             w,
             buffer_rows=buffer_rows,
             apply_relu=(i < len(weights) - 1),
+            kernel_backend=kernel_backend,
         )
         h = result.output
         traces.append(result.trace)

@@ -14,6 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.nn.tensor import Tensor, _make
+from repro.sparse.kernels import BackendLike, get_backend
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -115,42 +116,47 @@ def cross_entropy(logits: Tensor, labels: np.ndarray, mask: np.ndarray) -> Tenso
 # ----------------------------------------------------------------------
 # sparse / graph ops
 # ----------------------------------------------------------------------
-def spmm(adj: sp.spmatrix, x: Tensor) -> Tensor:
+def spmm(adj: sp.spmatrix, x: Tensor, backend: BackendLike = None) -> Tensor:
     """Aggregation ``Â X`` with a *constant* sparse matrix.
 
     Gradient: ``dL/dX = Â^T dL/dY``. This is the hot op of standard GCN
     training (Step 1 / retraining); graph tuning uses :func:`edge_spmm`.
+    ``backend`` picks the kernel implementation (see
+    :mod:`repro.sparse.kernels`).
     """
+    kernel = get_backend(backend)
     a = sp.csr_matrix(adj)
-    data = np.asarray(a @ x.data)
-    at = a.T.tocsr()
+    data = kernel.spmm_row_product(a, x.data)
 
     def backward(grad):
         if x.requires_grad:
-            x.accumulate_grad(np.asarray(at @ grad))
+            x.accumulate_grad(kernel.spmm_row_product(a.T.tocsr(), grad))
 
     return _make(data, (x,), backward)
 
 
-def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+def gather_rows(
+    x: Tensor, index: np.ndarray, backend: BackendLike = None
+) -> Tensor:
     """Select rows ``x[index]`` (differentiable scatter-add on backward)."""
+    kernel = get_backend(backend)
     index = np.asarray(index, dtype=np.int64)
     data = x.data[index]
 
     def backward(grad):
         if x.requires_grad:
-            g = np.zeros_like(x.data)
-            np.add.at(g, index, grad)
-            x.accumulate_grad(g)
+            x.accumulate_grad(kernel.segment_sum(grad, index, x.data.shape[0]))
 
     return _make(data, (x,), backward)
 
 
-def scatter_add_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+def scatter_add_rows(
+    x: Tensor, index: np.ndarray, num_rows: int, backend: BackendLike = None
+) -> Tensor:
     """Accumulate row ``e`` of ``x`` into output row ``index[e]``."""
+    kernel = get_backend(backend)
     index = np.asarray(index, dtype=np.int64)
-    data = np.zeros((num_rows,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(data, index, x.data)
+    data = kernel.segment_sum(x.data, index, num_rows)
 
     def backward(grad):
         if x.requires_grad:
@@ -165,6 +171,7 @@ def edge_spmm(
     cols: np.ndarray,
     x: Tensor,
     num_rows: int,
+    backend: BackendLike = None,
 ) -> Tensor:
     """Aggregation with *trainable* edge weights: ``Y[r] += w_e * X[c]``.
 
@@ -173,41 +180,45 @@ def edge_spmm(
     This single op is what makes Eq. (4)'s ``L_Graph(A)`` trainable and also
     implements GAT's attention-weighted aggregation.
     """
+    kernel = get_backend(backend)
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
     w = weights.data.reshape(-1)
-    data = np.zeros((num_rows, x.data.shape[1]), dtype=np.float64)
-    np.add.at(data, rows, w[:, None] * x.data[cols])
+    data = kernel.coo_spmm(w, rows, cols, x.data, num_rows)
 
     def backward(grad):
         if weights.requires_grad:
             gw = np.einsum("ef,ef->e", grad[rows], x.data[cols])
             weights.accumulate_grad(gw.reshape(weights.data.shape))
         if x.requires_grad:
-            gx = np.zeros_like(x.data)
-            np.add.at(gx, cols, w[:, None] * grad[rows])
-            x.accumulate_grad(gx)
+            # The transposed aggregation: dX[c] += w_e * dY[r_e].
+            x.accumulate_grad(
+                kernel.coo_spmm(w, cols, rows, grad, x.data.shape[0])
+            )
 
     return _make(data, (weights, x), backward)
 
 
-def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    segments: np.ndarray,
+    num_segments: int,
+    backend: BackendLike = None,
+) -> Tensor:
     """Softmax within segments (GAT: normalize attention over each node's in-edges).
 
     ``scores`` may be 1-D ``(E,)`` or 2-D ``(E, H)`` for multi-head attention.
     """
+    kernel = get_backend(backend)
     segments = np.asarray(segments, dtype=np.int64)
     s = scores.data
     squeeze = s.ndim == 1
     if squeeze:
         s = s[:, None]
-    heads = s.shape[1]
-    seg_max = np.full((num_segments, heads), -np.inf)
-    np.maximum.at(seg_max, segments, s)
+    seg_max = kernel.segment_max(s, segments, num_segments)
     seg_max[~np.isfinite(seg_max)] = 0.0
     shifted = np.exp(s - seg_max[segments])
-    seg_sum = np.zeros((num_segments, heads))
-    np.add.at(seg_sum, segments, shifted)
+    seg_sum = kernel.segment_sum(shifted, segments, num_segments)
     out = shifted / np.maximum(seg_sum[segments], 1e-30)
     data = out[:, 0] if squeeze else out
 
@@ -216,48 +227,58 @@ def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> 
             return
         g = grad if not squeeze else grad[:, None]
         # d softmax: p * (g - sum_seg(p * g))
-        weighted = np.zeros((num_segments, heads))
-        np.add.at(weighted, segments, out * g)
+        weighted = kernel.segment_sum(out * g, segments, num_segments)
         gs = out * (g - weighted[segments])
         scores.accumulate_grad(gs[:, 0] if squeeze else gs)
 
     return _make(data, (scores,), backward)
 
 
-def segment_max(x: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+def segment_max(
+    x: Tensor,
+    segments: np.ndarray,
+    num_segments: int,
+    backend: BackendLike = None,
+) -> Tensor:
     """Per-segment elementwise max (ResGCN's max aggregation, Tab. IV).
 
     Empty segments produce zeros. Gradient routes to the arg-max element of
     each (segment, feature) pair.
     """
+    kernel = get_backend(backend)
     segments = np.asarray(segments, dtype=np.int64)
     feat = x.data.shape[1]
-    data = np.full((num_segments, feat), -np.inf)
-    np.maximum.at(data, segments, x.data)
+    data = kernel.segment_max(x.data, segments, num_segments)
     empty = ~np.isfinite(data)
     data = np.where(empty, 0.0, data)
-    # argmax bookkeeping: first row achieving the max within its segment
-    winner = x.data == data[segments]
 
     def backward(grad):
         if not x.requires_grad:
             return
+        # argmax bookkeeping: rows achieving the max within their segment.
+        winner = x.data == data[segments]
         g = np.where(winner, grad[segments], 0.0)
         # If several rows tie, split the gradient equally among them.
-        counts = np.zeros((num_segments, feat))
-        np.add.at(counts, segments, winner.astype(np.float64))
+        counts = kernel.segment_sum(
+            winner.astype(np.float64), segments, num_segments
+        )
         denom = np.maximum(counts[segments], 1.0)
         x.accumulate_grad(g / denom)
 
     return _make(data, (x,), backward)
 
 
-def segment_mean(x: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    x: Tensor,
+    segments: np.ndarray,
+    num_segments: int,
+    backend: BackendLike = None,
+) -> Tensor:
     """Per-segment mean (GraphSAGE's mean aggregation over sampled neighbors)."""
     segments = np.asarray(segments, dtype=np.int64)
     counts = np.bincount(segments, minlength=num_segments).astype(np.float64)
     counts = np.maximum(counts, 1.0)
-    summed = scatter_add_rows(x, segments, num_segments)
+    summed = scatter_add_rows(x, segments, num_segments, backend=backend)
     return _make(
         summed.data / counts[:, None],
         (summed,),

@@ -25,6 +25,7 @@ import scipy.sparse as sp
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor, reshape
+from repro.sparse.kernels import BackendLike, get_backend
 
 
 class GraphOps:
@@ -39,10 +40,20 @@ class GraphOps:
         ``adj`` (ordered like ``adj.tocoo()``). When given, symmetric-
         normalized aggregation multiplies each edge's fixed normalization by
         its weight; self-loops keep weight 1.
+    kernel_backend:
+        SpMM kernel backend name or instance (see
+        :mod:`repro.sparse.kernels`); ``None`` uses the registry default.
+        Every aggregation this object performs routes through it.
     """
 
-    def __init__(self, adj: sp.spmatrix, edge_weights: Optional[Tensor] = None):
+    def __init__(
+        self,
+        adj: sp.spmatrix,
+        edge_weights: Optional[Tensor] = None,
+        kernel_backend: BackendLike = None,
+    ):
         coo = sp.coo_matrix(adj)
+        self.kernel = get_backend(kernel_backend)
         self.num_nodes = coo.shape[0]
         self.rows = coo.row.astype(np.int64)
         self.cols = coo.col.astype(np.int64)
@@ -55,8 +66,9 @@ class GraphOps:
 
         # Fixed symmetric normalization computed on A + I (renormalization
         # trick); held constant during graph tuning, following SGCN [23].
-        degrees = np.zeros(self.num_nodes)
-        np.add.at(degrees, self.rows, self.base_data)
+        degrees = np.bincount(
+            self.rows, weights=self.base_data, minlength=self.num_nodes
+        ).astype(np.float64)
         degrees += 1.0  # self loop
         inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
         self.sym_edge_norm = (
@@ -90,31 +102,42 @@ class GraphOps:
     def agg_sym(self, x: Tensor) -> Tensor:
         """Symmetric-normalized aggregation ``Â x`` (GCN / ResGCN)."""
         if self.edge_weights is None:
-            return F.spmm(self._sym_mat, x)
+            return F.spmm(self._sym_mat, x, backend=self.kernel)
         weights = self.edge_weights * Tensor(self.sym_edge_norm)
-        neigh = F.edge_spmm(weights, self.rows, self.cols, x, self.num_nodes)
+        neigh = F.edge_spmm(
+            weights, self.rows, self.cols, x, self.num_nodes,
+            backend=self.kernel,
+        )
         return neigh + x * Tensor(self.sym_loop_norm[:, None])
 
     def agg_sum(self, x: Tensor) -> Tensor:
         """Unnormalized sum aggregation (GIN's Add, Tab. IV)."""
         if self.edge_weights is None:
-            return F.spmm(self._sum_mat, x)
+            return F.spmm(self._sum_mat, x, backend=self.kernel)
         weights = self.edge_weights * Tensor(self.base_data)
-        return F.edge_spmm(weights, self.rows, self.cols, x, self.num_nodes)
+        return F.edge_spmm(
+            weights, self.rows, self.cols, x, self.num_nodes,
+            backend=self.kernel,
+        )
 
     def agg_mean(self, x: Tensor) -> Tensor:
         """Neighbour-mean aggregation (GraphSAGE, Tab. IV)."""
         if self.edge_weights is None:
-            return F.spmm(self._mean_mat, x)
+            return F.spmm(self._mean_mat, x, backend=self.kernel)
         weights = self.edge_weights * Tensor(self.mean_edge_norm)
-        return F.edge_spmm(weights, self.rows, self.cols, x, self.num_nodes)
+        return F.edge_spmm(
+            weights, self.rows, self.cols, x, self.num_nodes,
+            backend=self.kernel,
+        )
 
     def agg_max(self, x: Tensor) -> Tensor:
         """Neighbour-max aggregation (ResGCN's Max, Tab. IV)."""
-        gathered = F.gather_rows(x, self.cols)
+        gathered = F.gather_rows(x, self.cols, backend=self.kernel)
         if self.edge_weights is not None:
             gathered = gathered * reshape(self.edge_weights, (-1, 1))
-        return F.segment_max(gathered, self.rows, self.num_nodes)
+        return F.segment_max(
+            gathered, self.rows, self.num_nodes, backend=self.kernel
+        )
 
     def attention_aggregate(self, x: Tensor, edge_scores: Tensor) -> Tensor:
         """GAT aggregation: per-edge softmaxed scores weight source features.
@@ -122,10 +145,15 @@ class GraphOps:
         ``edge_scores`` is 1-D over edges; self-loops are not added here —
         GAT layers append them to the edge list themselves if wanted.
         """
-        alpha = F.segment_softmax(edge_scores, self.rows, self.num_nodes)
+        alpha = F.segment_softmax(
+            edge_scores, self.rows, self.num_nodes, backend=self.kernel
+        )
         if self.edge_weights is not None:
             alpha = alpha * self.edge_weights
-        return F.edge_spmm(alpha, self.rows, self.cols, x, self.num_nodes)
+        return F.edge_spmm(
+            alpha, self.rows, self.cols, x, self.num_nodes,
+            backend=self.kernel,
+        )
 
 
 class GNNModel(Module):

@@ -29,17 +29,32 @@ def sample_neighbors(
     """
     gen = ensure_rng(rng)
     csr = sp.csr_matrix(adj)
+    degrees = np.diff(csr.indptr)
+    oversized = np.nonzero(degrees > max_neighbors)[0]
+    if oversized.size == 0:  # nothing to subsample: keep the structure as is
+        return sp.csr_matrix(
+            (
+                np.ones(csr.indices.shape[0]),
+                csr.indices.astype(np.int64),
+                csr.indptr.copy(),
+            ),
+            shape=csr.shape,
+        )
     rows: List[np.ndarray] = []
     cols: List[np.ndarray] = []
-    for i in range(csr.shape[0]):
+    for i in oversized:
         lo, hi = csr.indptr[i], csr.indptr[i + 1]
-        neigh = csr.indices[lo:hi]
-        if neigh.size > max_neighbors:
-            neigh = gen.choice(neigh, size=max_neighbors, replace=False)
+        neigh = gen.choice(
+            csr.indices[lo:hi], size=max_neighbors, replace=False
+        )
         rows.append(np.full(neigh.size, i, dtype=np.int64))
         cols.append(neigh.astype(np.int64))
-    row = np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-    col = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+    # Rows at or under the budget keep their full neighbour lists.
+    keep = np.repeat(degrees <= max_neighbors, degrees)
+    row = np.concatenate(
+        [np.repeat(np.arange(csr.shape[0]), degrees)[keep]] + rows
+    )
+    col = np.concatenate([csr.indices[keep].astype(np.int64)] + cols)
     return sp.csr_matrix(
         (np.ones(row.shape[0]), (row, col)), shape=csr.shape
     )
@@ -87,7 +102,7 @@ class GraphSAGE(GNNModel):
             shape=(ops.num_nodes, ops.num_nodes),
         )
         sampled = sample_neighbors(adj, self.sample_sizes[layer_idx], rng=self._rng)
-        return GraphOps(sampled)
+        return GraphOps(sampled, kernel_backend=ops.kernel)
 
     def forward(self, x: Tensor, ops: GraphOps) -> Tensor:
         """Return class logits for every node."""

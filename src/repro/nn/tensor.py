@@ -77,6 +77,11 @@ class Tensor:
     def accumulate_grad(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's gradient buffer."""
         if self.grad is None:
+            grad = np.asarray(grad)
+            if grad.shape == self.data.shape:
+                # First contribution: copy (callers may hand us views).
+                self.grad = np.array(grad, dtype=np.float64)
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 

@@ -12,6 +12,7 @@ from repro.nn import functional as F
 from repro.nn.models.base import GNNModel, GraphOps
 from repro.nn.optim import Adam, Optimizer
 from repro.nn.tensor import Tensor
+from repro.sparse.kernels import BackendLike
 
 
 @dataclass
@@ -47,15 +48,18 @@ def train_model(
     optimizer: Optional[Optimizer] = None,
     epoch_callback: Optional[Callable[[int, "GNNModel", float], bool]] = None,
     track_best: bool = True,
+    kernel_backend: BackendLike = None,
 ) -> TrainResult:
     """Train ``model`` on ``graph`` with the paper's settings (Sec. VI-A).
 
     ``epoch_callback(epoch, model, val_acc)`` may return ``True`` to stop
     early — this is the hook the early-bird ticket detector uses. When
     ``track_best`` is set the parameters with the best validation accuracy
-    are restored before computing the test accuracy.
+    are restored before computing the test accuracy. ``kernel_backend``
+    selects the SpMM kernels used for aggregation (ignored when ``ops`` is
+    supplied, which carries its own backend).
     """
-    ops = ops or GraphOps(graph.adj)
+    ops = ops or GraphOps(graph.adj, kernel_backend=kernel_backend)
     opt = optimizer or Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     result = TrainResult()
     best_val = -1.0

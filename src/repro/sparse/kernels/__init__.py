@@ -1,0 +1,185 @@
+"""Pluggable SpMM kernel backends.
+
+The GCoD reproduction executes every GCN phase as SpMM, in one of the two
+product orders the accelerator distinguishes (Fig. 7): row-wise product
+(combination, CSR) and column-wise product (distributed aggregation, CSC).
+The *hardware* models count traffic against those loop-order semantics; the
+*numerics* are the same product either way, so how fast the arithmetic runs
+is an implementation choice. This package makes that choice pluggable:
+
+* ``reference`` — the original per-row / per-column Python loop kernels and
+  ``np.ufunc.at`` scatter primitives, kept as ground truth;
+* ``vectorized`` — fully batched kernels: product-order SpMM lowers to
+  compiled CSR/CSC sparse-times-dense routines, scatter/gather segment
+  reductions lower to ``bincount`` / selection-matrix products, and
+  ``spmm_batch`` runs a whole list of (sparse, dense) pairs as one
+  block-diagonal product without transposing anything.
+
+Backends register by name; ``get_backend(None)`` returns the process-wide
+default (``vectorized``). Everything downstream — ``GraphOps``, the training
+loop, the GCoD pipeline, the functional emulator, the CLI — resolves its
+backend through this registry, so ``--kernel-backend reference`` swaps the
+arithmetic engine of the whole stack without touching the hardware model's
+traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import KernelError, ShapeError
+
+
+def check_spmm_shapes(a_shape: Tuple[int, ...], b: np.ndarray) -> None:
+    """Validate the dense operand of ``A @ B`` against ``A``'s shape."""
+    if b.ndim != 2:
+        raise ShapeError("dense operand must be 2-D")
+    if a_shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"cannot multiply {a_shape} by {b.shape}: inner dims differ"
+        )
+
+
+class KernelBackend:
+    """One implementation of the SpMM + segment-reduce kernel family.
+
+    Sparse operands are anything with ``shape`` / ``indptr`` / ``indices`` /
+    ``data`` attributes — both this package's :class:`~repro.sparse.csr.CSRMatrix`
+    / :class:`~repro.sparse.csc.CSCMatrix` containers and scipy's
+    ``csr_matrix`` / ``csc_matrix`` qualify, so callers never convert.
+    """
+
+    name: str = "abstract"
+
+    # -- product-order SpMM kernels ------------------------------------
+    def spmm_row_product(self, a, b: np.ndarray) -> np.ndarray:
+        """Row-wise-product SpMM of a CSR operand (emit whole output rows)."""
+        raise NotImplementedError
+
+    def spmm_column_product(self, a, b: np.ndarray) -> np.ndarray:
+        """Column-wise-product SpMM of a CSC operand (distributed aggregation)."""
+        raise NotImplementedError
+
+    def spmm(self, a, b: np.ndarray) -> np.ndarray:
+        """Dispatch on storage format: CSR -> row order, CSC -> column order."""
+        fmt = getattr(a, "format", None)
+        if fmt == "csr" or _looks_like(a, "CSRMatrix"):
+            return self.spmm_row_product(a, b)
+        if fmt == "csc" or _looks_like(a, "CSCMatrix"):
+            return self.spmm_column_product(a, b)
+        if fmt is not None:  # other scipy formats: canonicalize to CSR
+            return self.spmm_row_product(a.tocsr(), b)
+        raise TypeError(f"unsupported sparse operand type {type(a).__name__}")
+
+    def spmm_batch(
+        self, mats: Sequence, denses: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """SpMM over paired (sparse, dense) operands, one output per pair."""
+        if len(mats) != len(denses):
+            raise ShapeError("spmm_batch needs one dense operand per matrix")
+        return [self.spmm(a, b) for a, b in zip(mats, denses)]
+
+    # -- segment primitives (the training-side scatter/gather family) --
+    def segment_sum(
+        self, values: np.ndarray, segments: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Sum rows of ``values`` into ``out[segments[e]]`` (1-D or 2-D)."""
+        raise NotImplementedError
+
+    def segment_max(
+        self, values: np.ndarray, segments: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Per-segment elementwise max; empty segments stay ``-inf``."""
+        out = np.full((num_segments,) + values.shape[1:], -np.inf)
+        np.maximum.at(out, segments, values)
+        return out
+
+    def coo_spmm(
+        self,
+        weights: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        x: np.ndarray,
+        num_rows: int,
+    ) -> np.ndarray:
+        """Edge-weighted aggregation ``out[rows[e]] += weights[e] * x[cols[e]]``."""
+        raise NotImplementedError
+
+
+def _looks_like(a, cls_name: str) -> bool:
+    # Avoid importing the containers here (they sit below this package).
+    return type(a).__name__ == cls_name
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, KernelBackend] = {}
+_DEFAULT_NAME = "vectorized"
+
+BackendLike = Union[None, str, KernelBackend]
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add ``backend`` to the registry under ``backend.name``."""
+    if not backend.name or backend.name == "abstract":
+        raise KernelError("kernel backends must define a concrete name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(backend: BackendLike = None) -> KernelBackend:
+    """Resolve ``backend`` (name, instance, or None for the default)."""
+    if backend is None:
+        backend = _DEFAULT_NAME
+    if isinstance(backend, KernelBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def default_backend() -> KernelBackend:
+    """The backend used when callers do not name one."""
+    return get_backend(None)
+
+
+def set_default_backend(backend: Union[str, KernelBackend]) -> str:
+    """Set the process-wide default backend; returns the previous name."""
+    global _DEFAULT_NAME
+    previous = _DEFAULT_NAME
+    _DEFAULT_NAME = get_backend(backend).name
+    return previous
+
+
+# Populate the registry (imports at the bottom to avoid cycles: the backend
+# modules import the helpers defined above).
+from repro.sparse.kernels.reference import ReferenceBackend  # noqa: E402
+from repro.sparse.kernels.vectorized import VectorizedBackend  # noqa: E402
+
+register_backend(ReferenceBackend())
+register_backend(VectorizedBackend())
+
+__all__ = [
+    "BackendLike",
+    "KernelBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "check_spmm_shapes",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]

@@ -1,4 +1,4 @@
-"""Reference SpMM kernels in the two product orders used by GCoD's pipelines.
+"""SpMM entry points in the two product orders used by GCoD's pipelines.
 
 The GCoD accelerator executes every phase as SpMM, but the *order* in which
 partial products are produced decides what must stay on-chip (Fig. 7 and
@@ -15,54 +15,55 @@ Tab. II):
 
 Both compute the same product; tests assert bit-identical results against
 dense matmul. The hardware model counts their traffic differently.
+
+``spmm_row_product`` / ``spmm_column_product`` are the loop-exact reference
+kernels (ground truth); ``spmm`` and ``spmm_batch`` dispatch through the
+pluggable backend registry in :mod:`repro.sparse.kernels`, defaulting to the
+``vectorized`` backend.
 """
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 import numpy as np
 
-from repro.errors import ShapeError
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.kernels import BackendLike, get_backend
+from repro.sparse.kernels.reference import (
+    spmm_column_product,
+    spmm_row_product,
+)
+
+__all__ = [
+    "spmm",
+    "spmm_batch",
+    "spmm_column_product",
+    "spmm_row_product",
+]
 
 
-def _check_shapes(a_shape: tuple, b: np.ndarray) -> None:
-    if b.ndim != 2:
-        raise ShapeError("dense operand must be 2-D")
-    if a_shape[1] != b.shape[0]:
-        raise ShapeError(
-            f"cannot multiply {a_shape} by {b.shape}: inner dims differ"
-        )
+def spmm(a, b: np.ndarray, backend: BackendLike = None) -> np.ndarray:
+    """Dispatch SpMM on the container type (CSR row-wise, CSC column-wise).
+
+    ``backend`` selects the kernel implementation by name (``"reference"``,
+    ``"vectorized"``); ``None`` uses the registry default.
+    """
+    if not isinstance(a, (CSRMatrix, CSCMatrix)):
+        raise TypeError(f"unsupported sparse operand type {type(a).__name__}")
+    return get_backend(backend).spmm(a, b)
 
 
-def spmm_row_product(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Row-wise-product SpMM: produce each output row to completion."""
-    _check_shapes(a.shape, b)
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float64)
-    for i in range(a.shape[0]):
-        cols, vals = a.row_slice(i)
-        if cols.shape[0]:
-            out[i] = vals @ b[cols]
-    return out
+def spmm_batch(
+    mats: Sequence,
+    denses: Sequence[np.ndarray],
+    backend: BackendLike = None,
+) -> List[np.ndarray]:
+    """SpMM over a multi-graph workload: one output per (sparse, dense) pair.
 
-
-def spmm_column_product(a: CSCMatrix, b: np.ndarray) -> np.ndarray:
-    """Column-wise-product (distributed aggregation) SpMM."""
-    _check_shapes(a.shape, b)
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float64)
-    for k in range(a.shape[1]):
-        rows, vals = a.col_slice(k)
-        if rows.shape[0]:
-            # np.add.at accumulates correctly when a column stores the same
-            # row index more than once (plain fancy-index += would not).
-            np.add.at(out, rows, np.outer(vals, b[k]))
-    return out
-
-
-def spmm(a, b: np.ndarray) -> np.ndarray:
-    """Dispatch SpMM on the container type (CSR row-wise, CSC column-wise)."""
-    if isinstance(a, CSRMatrix):
-        return spmm_row_product(a, b)
-    if isinstance(a, CSCMatrix):
-        return spmm_column_product(a, b)
-    raise TypeError(f"unsupported sparse operand type {type(a).__name__}")
+    The ``vectorized`` backend runs same-format, same-width batches as a
+    single block-diagonal product (no transposes); other backends fall back
+    to one dispatch per pair.
+    """
+    return get_backend(backend).spmm_batch(mats, denses)
