@@ -118,6 +118,10 @@ def admm_sparsify_polarize(
 
     pola_before = polarization_loss(adj)
     history = []
+    # admm_inner_steps == 0 is a legal (projection-only) configuration: the
+    # inner loop never runs, so the losses it would define stay None and the
+    # history records NaN for them instead of crashing.
+    task_loss = pola = None
     for _ in range(config.admm_iterations):
         for _ in range(config.admm_inner_steps):
             opt.zero_grad()
@@ -142,8 +146,11 @@ def admm_sparsify_polarize(
         u = u + w_pairs.data - z
         history.append(
             {
-                "task_loss": float(task_loss.data),
-                "pola": float(pola.data),
+                "task_loss": (
+                    float(task_loss.data) if task_loss is not None
+                    else float("nan")
+                ),
+                "pola": float(pola.data) if pola is not None else float("nan"),
                 "residual": float(np.abs(w_pairs.data - z).mean()),
             }
         )

@@ -68,6 +68,10 @@ class GCoDConfig:
             raise ConfigError("num_classes and num_groups must be >= 1")
         if self.num_subgraphs < self.num_classes:
             raise ConfigError("need at least one subgraph per class")
+        if self.admm_iterations < 0 or self.admm_inner_steps < 0:
+            raise ConfigError(
+                "admm_iterations and admm_inner_steps must be non-negative"
+            )
         if self.patch_threshold < 0:
             raise ConfigError("patch_threshold must be non-negative")
 

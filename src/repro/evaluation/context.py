@@ -57,11 +57,15 @@ class EvalContext:
     profile: str = "fast"
     seed: int = 0
     #: SpMM kernel backend for every pipeline run this context performs
-    #: (None = the registry default, "vectorized").
+    #: (None = the registry default, "vectorized"; "reference" and "tiled"
+    #: are the other registered engines).
     kernel_backend: Optional[str] = None
     dataset_scales: Dict[str, float] = field(default_factory=dict)
     _graphs: Dict[str, Graph] = field(default_factory=dict, repr=False)
     _gcod: Dict[Tuple[str, str], GCoDResult] = field(
+        default_factory=dict, repr=False
+    )
+    _traces: Dict[Tuple[str, str], object] = field(
         default_factory=dict, repr=False
     )
     _platforms: Optional[dict] = field(default=None, repr=False)
@@ -124,6 +128,31 @@ class EvalContext:
         if self._platforms is None:
             self._platforms = all_platforms()
         return self._platforms
+
+    def measured_trace(self, dataset: str, arch: str = "gcn"):
+        """The (cached) first-layer :class:`ExecutionTrace` of the trained
+        model, functionally executed on the two-pronged schedule.
+
+        This is the measured counterpart of the analytic model's assumed
+        constants: pass it to ``GCoDAccelerator(measured_trace=...)`` to
+        cost an inference with the *observed* chunk balance and
+        query-forwarding rate instead of the paper's ~63%.
+        """
+        from repro.hardware.functional import execute_layer
+
+        key = (dataset, arch)
+        if key not in self._traces:
+            result = self.gcod(dataset, arch)
+            first_weight = result.model.layers[0].weight.data
+            execution = execute_layer(
+                result.final_graph,
+                result.layout,
+                result.final_graph.features,
+                first_weight,
+                kernel_backend=self.kernel_backend,
+            )
+            self._traces[key] = execution.trace
+        return self._traces[key]
 
     # ------------------------------------------------------------------
     # workload helpers

@@ -34,6 +34,8 @@ from repro.hardware.event_sim import (
     EventSimReport,
     WorkTile,
     simulate_aggregation,
+    tiles_from_profile,
+    tiles_from_workload,
 )
 from repro.hardware.sampling import LFSR, SamplingUnit
 from repro.hardware.accelerators import (
@@ -71,6 +73,8 @@ __all__ = [
     "EventSimReport",
     "WorkTile",
     "simulate_aggregation",
+    "tiles_from_profile",
+    "tiles_from_workload",
     "LFSR",
     "SamplingUnit",
     "Accelerator",

@@ -46,21 +46,29 @@ class GCoDAccelerator(Accelerator):
         num_pes: Optional[int] = None,
         weight_forward_rate: Optional[float] = None,
         two_pronged: bool = True,
+        measured_trace=None,
     ):
         """``weight_forward_rate`` overrides the ~63% query-forwarding rate
         (0.0 disables forwarding — the ablation knob); ``two_pronged=False``
         runs everything through a single undifferentiated branch (treats all
         nnz as sparser workload), isolating the architecture contribution.
+
+        ``measured_trace`` (an :class:`~repro.hardware.functional.ExecutionTrace`
+        from the functional emulator) replaces the assumed forwarding-rate
+        and chunk-balance constants with quantities measured on the actual
+        schedule; an explicit ``weight_forward_rate`` still wins.
         """
         if bits not in (8, 32):
             raise ValueError("GCoD supports 32-bit and 8-bit variants")
         if weight_forward_rate is not None and not 0.0 <= weight_forward_rate <= 1.0:
             raise ValueError("weight_forward_rate must be in [0, 1]")
-        self.weight_forward_rate = (
-            units.GCOD_WEIGHT_FORWARD_RATE
-            if weight_forward_rate is None
-            else weight_forward_rate
-        )
+        self.measured_trace = measured_trace
+        if weight_forward_rate is not None:
+            self.weight_forward_rate = weight_forward_rate
+        elif measured_trace is not None:
+            self.weight_forward_rate = measured_trace.forward_rate
+        else:
+            self.weight_forward_rate = units.GCOD_WEIGHT_FORWARD_RATE
         self.two_pronged = two_pronged
         self.bits = bits
         self.bytes_per_value = 1 if bits == 8 else 4
@@ -95,9 +103,13 @@ class GCoDAccelerator(Accelerator):
             dense_nnz, sparse_nnz = 0, max(adj.nnz, 0)
         total_nnz = max(dense_nnz + sparse_nnz, 1)
         sparse_frac = sparse_nnz / total_nnz
-        dense_pes = self.pes.split(max(1.0 - sparse_frac, 0.05))
-        sparse_pes = self.pes.split(max(sparse_frac, 0.05))
-        notes["dense_pe_fraction"] = 1.0 - sparse_frac
+        # Clamp only branches that carry workload (the single-branch
+        # ablation must not grant the dense branch a courtesy 5%), then let
+        # the allocator normalize so the splits sum to <= the PE array.
+        dense_share = max(1.0 - sparse_frac, 0.05) if dense_nnz else 0.0
+        sparse_share = max(sparse_frac, 0.05) if sparse_nnz else 0.0
+        dense_pes, sparse_pes = self.pes.allocate([dense_share, sparse_share])
+        notes["dense_pe_fraction"] = dense_pes.num_pes / self.pes.num_pes
         notes["num_chunks"] = float(max(adj.num_classes, 1))
 
         # The sparser branch's CSC stays resident across layers if it fits.
@@ -189,9 +201,14 @@ class GCoDAccelerator(Accelerator):
 
         # --------------- denser branch: one chunk per class ---------------
         dense_macs = dense_nnz * dim
-        dense_util = max(
-            0.05, adj.class_balance * units.GCOD_STATIC_SCHEDULE_EFF
+        # Chunk balance: measured from an executed schedule when a trace was
+        # supplied, otherwise the layout's static estimate.
+        balance = (
+            self.measured_trace.chunk_balance()
+            if self.measured_trace is not None
+            else adj.class_balance
         )
+        dense_util = max(0.05, balance * units.GCOD_STATIC_SCHEDULE_EFF)
         dense_compute_s = (
             dense_pes.compute_seconds(dense_macs, dense_util)
             if dense_macs

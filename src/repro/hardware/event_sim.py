@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.hardware.workload import GCNWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparse.kernels import TileProfile
 
 
 @dataclass(order=True)
@@ -147,6 +150,41 @@ class EventDrivenAggregator:
         )
 
 
+def _even_shares(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal integers summing exactly.
+
+    Plain ``total // parts`` per part silently drops up to ``parts - 1``
+    units; distributing the remainder keeps tile totals equal to the
+    workload's nnz, so MAC and DMA accounting never undercounts.
+    """
+    base, remainder = divmod(int(total), parts)
+    return [base + 1 if i < remainder else base for i in range(parts)]
+
+
+def tiles_from_profile(
+    profile: "TileProfile",
+    agg_dim: int,
+) -> List[WorkTile]:
+    """Work tiles from a measured :class:`~repro.sparse.kernels.TileProfile`.
+
+    The tiled kernel backend records exactly which diagonal block / column
+    run carried how many non-zeros and how many DMA bytes it streamed; the
+    byte costs are taken verbatim from the profile while MACs are
+    recomputed at ``agg_dim`` (the profile may have been taken at a
+    different feature width). Zero-work tiles are dropped — they exist in
+    the profile for accounting, not scheduling.
+    """
+    return [
+        WorkTile(
+            owner=tile.owner,
+            macs=tile.nnz * agg_dim,
+            dma_bytes=tile.dma_bytes,
+        )
+        for tile in profile.tiles
+        if tile.nnz
+    ]
+
+
 def tiles_from_workload(
     workload: GCNWorkload,
     agg_dim: int,
@@ -159,7 +197,8 @@ def tiles_from_workload(
     One tile per subgraph block (owner = its class's chunk) plus one tile
     per ~1024 sparser-branch columns (owner = the sparser sub-accelerator).
     When per-subgraph workloads are not supplied, class totals are split
-    evenly — the balanced case GCoD's Step 1 engineers.
+    near-evenly (the balanced case GCoD's Step 1 engineers), with division
+    remainders distributed so the tile totals exactly cover every nnz.
     """
     adj = workload.adjacency
     tiles: List[WorkTile] = []
@@ -175,8 +214,7 @@ def tiles_from_workload(
     else:
         per_class = max(adj.num_subgraphs // max(adj.num_classes, 1), 1)
         for cls, class_nnz in enumerate(adj.dense_nnz_per_class):
-            share = int(class_nnz // per_class)
-            for _ in range(per_class):
+            for share in _even_shares(class_nnz, per_class):
                 tiles.append(
                     WorkTile(
                         owner=f"chunk{cls}",
@@ -186,13 +224,12 @@ def tiles_from_workload(
                 )
     # Sparser branch: column runs of ~1024 columns each.
     n_tiles = max(adj.num_nodes // 1024, 1)
-    sparse_share = adj.sparse_nnz // n_tiles
-    for _ in range(n_tiles):
+    for share in _even_shares(adj.sparse_nnz, n_tiles):
         tiles.append(
             WorkTile(
                 owner="sparse",
-                macs=int(sparse_share) * agg_dim,
-                dma_bytes=int(sparse_share) * (bytes_per_nnz - 2),  # CSC
+                macs=share * agg_dim,
+                dma_bytes=share * (bytes_per_nnz - 2),  # CSC
             )
         )
     return tiles
@@ -205,11 +242,16 @@ def simulate_aggregation(
     clock_hz: float = 330e6,
     bandwidth_gbps: float = 460.0,
     layout_tiles: Optional[Tuple[np.ndarray, List[int]]] = None,
+    tile_profile: Optional["TileProfile"] = None,
 ) -> EventSimReport:
     """End-to-end: allocate PEs per chunk, tile the workload, simulate.
 
     PE shares follow the analytic model's complexity-proportional rule so
-    the two models are directly comparable.
+    the two models are directly comparable. ``tile_profile`` (a measured
+    :class:`~repro.sparse.kernels.TileProfile` from the tiled kernel
+    backend) takes precedence over ``layout_tiles`` and over the near-even
+    split: the simulator then schedules the exact blocks/column runs the
+    kernel executed.
     """
     adj = workload.adjacency
     total_nnz = max(adj.nnz, 1)
@@ -221,7 +263,9 @@ def simulate_aggregation(
     pe_rate["sparse"] = max(total_pes * (adj.sparse_nnz / total_nnz), 1.0)
     dma_bytes_per_cycle = bandwidth_gbps * 1e9 / clock_hz
 
-    if layout_tiles is not None:
+    if tile_profile is not None:
+        tiles = tiles_from_profile(tile_profile, agg_dim)
+    elif layout_tiles is not None:
         tiles = tiles_from_workload(
             workload, agg_dim,
             subgraph_workloads=layout_tiles[0],

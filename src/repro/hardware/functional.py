@@ -28,12 +28,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
 from repro.graphs.normalize import symmetric_normalize
 from repro.partition.layout import BlockLayout
-from repro.sparse import CSCMatrix, from_scipy
 from repro.sparse.kernels import BackendLike, get_backend
 
 
@@ -80,18 +78,34 @@ class WeightBufferDirectory:
     must be fetched from off-chip memory.
 
     Eviction is modelled per chunk as a sliding window over that chunk's
-    node ranges, sized by ``buffer_rows``.
+    node ranges, sized by ``buffer_rows``. ``num_columns`` is the length of
+    the sparser branch's sweep — the graph's column count, which equals
+    ``layout.num_nodes`` except for layouts covering only part of a graph —
+    so the scalar :meth:`query` and the batched :meth:`query_many` advance
+    chunks at the identical pace.
     """
 
-    def __init__(self, layout: BlockLayout, buffer_rows: int):
+    def __init__(
+        self,
+        layout: BlockLayout,
+        buffer_rows: int,
+        num_columns: Optional[int] = None,
+    ):
         self.layout = layout
         self.buffer_rows = buffer_rows
-        self.num_nodes = layout.num_nodes
-        # Row -> owning span, for locating the chunk that holds each XW row.
-        self._row_span = [None] * layout.num_nodes
+        self.num_columns = (
+            layout.num_nodes if num_columns is None else num_columns
+        )
+        # Row -> owning span geometry, built span-wise (O(spans) slice
+        # assignments, not O(N * spans) scalar writes).
+        n = layout.num_nodes
+        self._span_start = np.zeros(n, dtype=np.float64)
+        self._span_size = np.zeros(n, dtype=np.float64)
+        self._covered = np.zeros(n, dtype=bool)
         for span in layout.spans:
-            for r in range(span.start, span.stop):
-                self._row_span[r] = span
+            self._span_start[span.start:span.stop] = span.start
+            self._span_size[span.start:span.stop] = span.size
+            self._covered[span.start:span.stop] = True
         self._progress = 0.0
 
     def advance(self, column: int) -> None:
@@ -102,7 +116,7 @@ class WeightBufferDirectory:
         together), i.e. each chunk is ``column/N`` of the way through every
         one of its subgraph spans.
         """
-        self._progress = column / max(self.num_nodes, 1)
+        self._progress = column / max(self.num_columns, 1)
 
     def query(self, row: int) -> bool:
         """True (hit) if row ``row`` of XW is currently held by its chunk.
@@ -112,13 +126,31 @@ class WeightBufferDirectory:
         within ``buffer_rows`` of it. Because the branches are only
         synchronized at the end of aggregation, a row can be queried before
         its chunk produced it or after the buffer evicted it — those are
-        the misses the paper sends to off-chip memory.
+        the misses the paper sends to off-chip memory. A row outside every
+        span has no owning chunk: always a miss.
         """
-        span = self._row_span[row]
-        if span is None:
+        if row >= self._covered.size or not self._covered[row]:
             return False
-        sweep = span.start + self._progress * span.size
+        sweep = self._span_start[row] + self._progress * self._span_size[row]
         return abs(row - sweep) <= self.buffer_rows
+
+    def query_many(self, columns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`advance` + :meth:`query` for a column sweep.
+
+        ``hits[i]`` is exactly what ``advance(columns[i]); query(columns[i])``
+        would return — the geometry closed form evaluated as one array
+        expression.
+        """
+        columns = np.asarray(columns, dtype=np.int64)
+        hits = np.zeros(columns.shape, dtype=bool)
+        inside = columns < self._covered.size
+        idx = columns[inside]
+        progress = idx / max(self.num_columns, 1)
+        sweep = self._span_start[idx] + progress * self._span_size[idx]
+        hits[inside] = (
+            (np.abs(idx - sweep) <= self.buffer_rows) & self._covered[idx]
+        )
+        return hits
 
 
 @dataclass
@@ -142,11 +174,10 @@ def execute_layer(
 
     ``buffer_rows`` sizes each chunk's weight buffer in XW rows; the default
     (a sixteenth of the graph) reproduces the paper's ~63% forwarding rate
-    on polarized graphs. ``kernel_backend`` selects the SpMM kernels: the
-    ``reference`` backend walks chunks and columns one at a time (the
-    literal schedule), any other backend produces the identical trace with
-    batched kernels. The traffic counters are computed from the schedule's
-    geometry either way, so the accounting never changes with the backend.
+    on polarized graphs. ``kernel_backend`` selects the SpMM kernels; every
+    backend walks the *same* schedule, and all traffic counters are computed
+    from the schedule's geometry, so the ``ExecutionTrace`` is identical
+    whichever backend does the arithmetic.
     """
     n = graph.num_nodes
     if buffer_rows is None:
@@ -164,19 +195,10 @@ def execute_layer(
     dense, sparse = layout.split(a_hat)
 
     output = np.zeros((n, weight.shape[1]))
-
-    if kernel.name == "reference":
-        _dense_branch_loops(layout, dense, xw, output, weight.shape[1], trace)
-        sparse_out = _sparse_branch_loops(
-            sparse, layout, buffer_rows, xw, weight.shape[1], n, trace
-        )
-    else:
-        _dense_branch_batched(
-            layout, dense, xw, output, weight.shape[1], trace, kernel
-        )
-        sparse_out = _sparse_branch_batched(
-            sparse, layout, buffer_rows, xw, weight.shape[1], n, trace, kernel
-        )
+    _dense_branch(layout, dense, xw, output, weight.shape[1], trace, kernel)
+    sparse_out = _sparse_branch(
+        sparse, layout, buffer_rows, xw, weight.shape[1], n, trace, kernel
+    )
 
     # output synchronization: accumulate the two branches' partials.
     output += sparse_out
@@ -186,37 +208,15 @@ def execute_layer(
     return LayerExecution(output=output, trace=trace)
 
 
-def _dense_branch_loops(layout, dense, xw, output, width, trace) -> None:
-    """Denser branch, literal schedule: block-local COO SpMM per chunk."""
-    dense_coo = dense.tocoo()
-    for span in layout.spans:
-        sel = (
-            (dense_coo.row >= span.start)
-            & (dense_coo.row < span.stop)
-        )
-        rows = dense_coo.row[sel]
-        cols = dense_coo.col[sel]
-        vals = dense_coo.data[sel]
-        np.add.at(output, rows, vals[:, None] * xw[cols])
-        chunk = span.class_id
-        trace.dense_macs_per_chunk[chunk] = trace.dense_macs_per_chunk.get(
-            chunk, 0
-        ) + int(vals.size) * width
-        trace.output_sync_adds += int(vals.size > 0)
-
-    # Self-loops of Â live on the diagonal = inside every subgraph block;
-    # layout.split assigns them to the dense branch already (row == col).
-
-
-def _dense_branch_batched(
-    layout, dense, xw, output, width, trace, kernel
-) -> None:
-    """Denser branch, batched: all chunks' block-local SpMMs in one kernel.
+def _dense_branch(layout, dense, xw, output, width, trace, kernel) -> None:
+    """Denser branch: every chunk's block-local products, one schedule.
 
     Diagonal-block entries have both endpoints in one subgraph, so the
-    per-chunk workloads partition the dense nnz by the row's subgraph; one
-    scatter-aggregation computes every chunk's partial sums while the MAC
-    counters are read off a bincount of the same partition.
+    per-chunk workloads partition the dense nnz by the row's subgraph: the
+    MAC counters are read off a bincount of that partition while the
+    selected backend performs the arithmetic as one scatter-aggregation.
+    Self-loops of Â live on the diagonal = inside every subgraph block;
+    ``layout.split`` assigns them to the dense branch already (row == col).
     """
     dense_coo = dense.tocoo()
     output += kernel.coo_spmm(
@@ -234,39 +234,16 @@ def _dense_branch_batched(
         trace.output_sync_adds += int(nnz > 0)
 
 
-def _sparse_branch_loops(
-    sparse, layout, buffer_rows, xw, width, n, trace
-) -> np.ndarray:
-    """Sparser branch, literal schedule: CSC column walk with forwarding."""
-    csc: CSCMatrix = from_scipy(sparse, "csc")
-    directory = WeightBufferDirectory(layout, buffer_rows)
-    sparse_out = np.zeros((n, width))
-    for j in range(n):
-        rows_j, vals_j = csc.col_slice(j)
-        if rows_j.size == 0:
-            trace.columns_skipped += 1
-            continue
-        trace.columns_processed += 1
-        directory.advance(j)
-        # Distributed aggregation: column j consumes XW row j.
-        if directory.query(j):
-            trace.forward_hits += 1
-        else:
-            trace.forward_misses += 1
-        sparse_out[rows_j] += np.outer(vals_j, xw[j])
-        trace.sparse_macs += int(rows_j.size) * width
-    return sparse_out
-
-
-def _sparse_branch_batched(
+def _sparse_branch(
     sparse, layout, buffer_rows, xw, width, n, trace, kernel
 ) -> np.ndarray:
-    """Sparser branch, batched: one column-product SpMM + closed-form hits.
+    """Sparser branch: CSC column sweep with query-based weight forwarding.
 
     The directory query for column ``j`` depends only on geometry — the
     owning span of row ``j`` and the matched sweep progress ``j / n`` — so
-    the hit/miss decision of every non-empty column is evaluated as one
-    array expression, exactly mirroring :class:`WeightBufferDirectory`.
+    the hit/miss decisions of all non-empty columns are evaluated as one
+    :meth:`WeightBufferDirectory.query_many` call, and the arithmetic is a
+    single column-product SpMM through the selected backend.
     """
     csc = sparse.tocsc()
     col_nnz = np.diff(csc.indptr)
@@ -275,17 +252,8 @@ def _sparse_branch_batched(
     trace.columns_skipped += int(n - nonempty.size)
     trace.sparse_macs += int(col_nnz.sum()) * width
 
-    span_start = np.zeros(n, dtype=np.float64)
-    span_size = np.zeros(n, dtype=np.float64)
-    covered = np.zeros(n, dtype=bool)
-    for span in layout.spans:
-        span_start[span.start:span.stop] = span.start
-        span_size[span.start:span.stop] = span.size
-        covered[span.start:span.stop] = True
-    progress = nonempty / max(n, 1)
-    sweep = span_start[nonempty] + progress * span_size[nonempty]
-    # A row outside every span has no owning chunk: always a miss.
-    hits = (np.abs(nonempty - sweep) <= buffer_rows) & covered[nonempty]
+    directory = WeightBufferDirectory(layout, buffer_rows, num_columns=n)
+    hits = directory.query_many(nonempty)
     trace.forward_hits += int(hits.sum())
     trace.forward_misses += int(nonempty.size - hits.sum())
 

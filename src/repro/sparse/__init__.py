@@ -8,8 +8,10 @@ kernels in both the row-wise and column-wise product orders used by the
 efficiency- and resource-aware pipelines (Fig. 7).
 
 Kernel implementations are pluggable: :mod:`repro.sparse.kernels` registers
-a loop-exact ``reference`` backend (ground truth) and a batched
-``vectorized`` backend (the default), selected per call or process-wide.
+a loop-exact ``reference`` backend (ground truth), a batched ``vectorized``
+backend (the default), and a block-granular ``tiled`` backend that mirrors
+the accelerator's chunk schedule and can report per-tile work profiles —
+selected per call or process-wide.
 """
 
 from repro.sparse.coo import COOMatrix

@@ -13,7 +13,12 @@ is an implementation choice. This package makes that choice pluggable:
   compiled CSR/CSC sparse-times-dense routines, scatter/gather segment
   reductions lower to ``bincount`` / selection-matrix products, and
   ``spmm_batch`` runs a whole list of (sparse, dense) pairs as one
-  block-diagonal product without transposing anything.
+  block-diagonal product without transposing anything;
+* ``tiled`` — block-granular kernels mirroring the accelerator's chunk
+  schedule: fixed-size row blocks / CSC column runs for the plain kernel
+  families, and layout-driven execution (``tiled_spmm``) that follows a
+  ``BlockLayout`` and returns a per-tile work profile (owner chunk, nnz,
+  MACs, DMA bytes) next to the numbers.
 
 Backends register by name; ``get_backend(None)`` returns the process-wide
 default (``vectorized``). Everything downstream — ``GraphOps``, the training
@@ -167,15 +172,28 @@ def set_default_backend(backend: Union[str, KernelBackend]) -> str:
 # modules import the helpers defined above).
 from repro.sparse.kernels.reference import ReferenceBackend  # noqa: E402
 from repro.sparse.kernels.vectorized import VectorizedBackend  # noqa: E402
+from repro.sparse.kernels.tiled import (  # noqa: E402
+    TiledBackend,
+    TileProfile,
+    TileWork,
+    layout_tile_profile,
+    tiled_spmm,
+)
 
 register_backend(ReferenceBackend())
 register_backend(VectorizedBackend())
+register_backend(TiledBackend())
 
 __all__ = [
     "BackendLike",
     "KernelBackend",
     "ReferenceBackend",
+    "TileProfile",
+    "TileWork",
+    "TiledBackend",
     "VectorizedBackend",
+    "layout_tile_profile",
+    "tiled_spmm",
     "available_backends",
     "check_spmm_shapes",
     "default_backend",

@@ -88,3 +88,27 @@ def test_admm_history_recorded(tuned):
     _, result, _ = tuned
     assert len(result.history) == 2
     assert all("task_loss" in h for h in result.history)
+
+
+def test_admm_zero_inner_steps_projection_only(tiny_graph):
+    # admm_inner_steps=0 used to crash with a NameError at the history
+    # append; it is a legal projection-only configuration.
+    model = build_model("gcn", tiny_graph, rng=0)
+    config = GCoDConfig(
+        prune_ratio=0.2, admm_iterations=2, admm_inner_steps=0, seed=0
+    )
+    result = admm_sparsify_polarize(tiny_graph, model, config)
+    assert len(result.history) == 2
+    for entry in result.history:
+        assert np.isnan(entry["task_loss"]) and np.isnan(entry["pola"])
+        assert np.isfinite(entry["residual"])
+    assert result.pruned_adj.nnz > 0
+
+
+def test_config_rejects_negative_admm_counts():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        GCoDConfig(admm_inner_steps=-1)
+    with pytest.raises(ConfigError):
+        GCoDConfig(admm_iterations=-2)

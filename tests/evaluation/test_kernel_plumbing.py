@@ -169,3 +169,30 @@ def test_eval_context_threads_backend_into_config():
     ctx = EvalContext(profile="fast", kernel_backend="reference")
     assert ctx.gcod_config().kernel_backend == "reference"
     assert EvalContext(profile="fast").gcod_config().kernel_backend is None
+
+
+def test_cli_accepts_tiled_backend():
+    args = build_parser().parse_args(
+        ["--kernel-backend", "tiled", "train", "cora"]
+    )
+    assert args.kernel_backend == "tiled"
+
+
+def test_gcod_config_accepts_tiled_backend():
+    assert GCoDConfig(kernel_backend="tiled").kernel_backend == "tiled"
+
+
+def test_eval_context_measured_trace_cached(gcod_result):
+    # Inject the session's shared pipeline run so the context method can be
+    # exercised without retraining.
+    ctx = EvalContext(profile="fast")
+    ctx._gcod[("small", "gcn")] = gcod_result
+    trace = ctx.measured_trace("small")
+    assert trace is ctx.measured_trace("small")
+    assert 0.0 <= trace.forward_rate <= 1.0
+    assert 0.0 < trace.chunk_balance() <= 1.0
+
+    from repro.hardware.accelerators import GCoDAccelerator
+
+    accel = GCoDAccelerator(measured_trace=trace)
+    assert accel.weight_forward_rate == pytest.approx(trace.forward_rate)

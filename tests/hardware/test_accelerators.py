@@ -17,6 +17,7 @@ from repro.hardware.accelerators import (
     system_configurations,
 )
 from repro.hardware.accelerators.gcod import branch_characteristics
+from repro.hardware.functional import ExecutionTrace
 
 
 @pytest.fixture(scope="module")
@@ -154,3 +155,54 @@ def test_energy_breakdown_sums(workloads):
 def test_static_tables():
     assert len(system_configurations()) == 9
     assert len(branch_characteristics()) == 3
+
+
+def test_pe_allocation_never_exceeds_array(workloads):
+    # Independently clamped max(frac, 0.05) splits used to hand out 105%
+    # of the PE array; the normalized allocation stays within it.
+    _, treated = workloads
+    accel = GCoDAccelerator()
+    adj = treated.adjacency
+    shares = [
+        max(adj.dense_nnz / max(adj.nnz, 1), 0.05),
+        max(adj.sparse_nnz / max(adj.nnz, 1), 0.05),
+    ]
+    dense_pes, sparse_pes = accel.pes.allocate(shares)
+    assert dense_pes.num_pes + sparse_pes.num_pes <= accel.pes.num_pes
+    report = accel.run(treated)
+    assert 0.0 < report.notes["dense_pe_fraction"] < 1.0
+
+
+def test_single_branch_ablation_grants_dense_nothing(workloads):
+    _, treated = workloads
+    report = GCoDAccelerator(two_pronged=False).run(treated)
+    # The undifferentiated branch owns the array; the idle dense branch
+    # keeps one placeholder PE, not a courtesy 5%.
+    assert report.notes["dense_pe_fraction"] <= 1 / 4096 + 1e-12
+
+
+def test_measured_trace_calibrates_constants(workloads):
+    _, treated = workloads
+    trace = ExecutionTrace(
+        dense_macs_per_chunk={0: 1000, 1: 500},
+        forward_hits=80,
+        forward_misses=20,
+    )
+    accel = GCoDAccelerator(measured_trace=trace)
+    assert accel.weight_forward_rate == pytest.approx(0.8)
+    _positive_report(accel.run(treated))
+    # An explicit forward rate still wins over the measured one.
+    override = GCoDAccelerator(measured_trace=trace, weight_forward_rate=0.1)
+    assert override.weight_forward_rate == pytest.approx(0.1)
+
+
+def test_measured_trace_changes_dense_utilization(workloads):
+    _, treated = workloads
+    balanced = ExecutionTrace(dense_macs_per_chunk={0: 100, 1: 100},
+                              forward_hits=63, forward_misses=37)
+    skewed = ExecutionTrace(dense_macs_per_chunk={0: 1000, 1: 10},
+                            forward_hits=63, forward_misses=37)
+    fast = GCoDAccelerator(measured_trace=balanced).run(treated)
+    slow = GCoDAccelerator(measured_trace=skewed).run(treated)
+    # Worse measured chunk balance -> lower utilization -> higher latency.
+    assert slow.latency_s >= fast.latency_s

@@ -67,6 +67,38 @@ def test_pe_array_split():
     assert tiny.num_pes == 1  # minimum one PE
 
 
+def test_pe_array_allocate_normalizes_overcommit():
+    pes = PEArray(4096, 330e6)
+    # 0.05-clamped fractions summing to 1.04 must not over-allocate.
+    dense, sparse = pes.allocate([0.05, 0.99])
+    assert dense.num_pes + sparse.num_pes <= 4096
+    assert dense.num_pes >= 1 and sparse.num_pes >= 1
+
+
+def test_pe_array_allocate_fully_assigns_exact_fractions():
+    pes = PEArray(4096, 330e6)
+    parts = pes.allocate([0.3, 0.3, 0.4])
+    assert sum(p.num_pes for p in parts) == 4096
+
+
+def test_pe_array_allocate_zero_fraction_gets_placeholder():
+    pes = PEArray(4096, 330e6)
+    idle, busy = pes.allocate([0.0, 1.0])
+    assert idle.num_pes == 1
+    assert idle.num_pes + busy.num_pes <= 4096
+
+
+def test_pe_array_allocate_undercommit_leaves_slack():
+    pes = PEArray(1000, 1e9)
+    a, b = pes.allocate([0.25, 0.25])
+    assert a.num_pes == 250 and b.num_pes == 250
+
+
+def test_pe_array_allocate_rejects_more_arrays_than_pes():
+    with pytest.raises(ConfigError):
+        PEArray(2, 1e9).allocate([0.3, 0.3, 0.4])
+
+
 def test_pe_array_invalid():
     with pytest.raises(ConfigError):
         PEArray(0, 1e9)

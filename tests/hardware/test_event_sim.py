@@ -91,9 +91,78 @@ def test_tiles_from_workload_cover_all_nnz(gcod_result):
     owners = {t.owner for t in tiles}
     assert "sparse" in owners
     assert any(o.startswith("chunk") for o in owners)
-    total_macs = sum(t.macs for t in tiles)
-    # Even splitting truncates; stay within 5% of nnz * dim.
-    assert total_macs >= 0.95 * wl.adjacency.nnz * 16
+    # Near-even splitting distributes remainders: totals are exact.
+    adj = wl.adjacency
+    assert sum(t.macs for t in tiles) == (adj.dense_nnz + adj.sparse_nnz) * 16
+
+
+def _workload(dense_per_class, sparse_nnz, num_nodes, num_subgraphs):
+    """A synthetic GCNWorkload exposing only what the tiler reads."""
+    from repro.hardware.workload import AdjacencyProfile, GCNWorkload
+
+    profile = AdjacencyProfile(
+        num_nodes=num_nodes,
+        nnz=sum(dense_per_class) + sparse_nnz,
+        dense_nnz_per_class=tuple(dense_per_class),
+        sparse_nnz=sparse_nnz,
+        class_balance=1.0,
+        num_subgraphs=num_subgraphs,
+        max_subgraph_nodes=num_nodes,
+        skipped_col_fraction=0.0,
+        coo_bytes=0,
+        csc_bytes=0,
+        num_classes=len(dense_per_class),
+    )
+    return GCNWorkload(
+        name="synthetic", dataset="synthetic", arch="gcn",
+        layers=(), adjacency=profile, num_nodes=num_nodes,
+    )
+
+
+@pytest.mark.parametrize(
+    "dense_per_class,sparse_nnz,num_nodes,num_subgraphs",
+    [
+        ((7, 11, 5), 13, 3000, 7),   # nothing divides evenly
+        ((1, 1), 1, 5000, 9),        # shares smaller than tile counts
+        ((0, 17), 0, 2048, 5),       # empty class, empty sparser branch
+        ((1023,), 4095, 4096, 4),    # remainders one short of the divisor
+    ],
+)
+def test_tile_totals_exact_for_uneven_splits(
+    dense_per_class, sparse_nnz, num_nodes, num_subgraphs
+):
+    agg_dim = 16
+    wl = _workload(dense_per_class, sparse_nnz, num_nodes, num_subgraphs)
+    tiles = tiles_from_workload(wl, agg_dim=agg_dim)
+    dense_nnz = sum(dense_per_class)
+    assert sum(t.macs for t in tiles) == (dense_nnz + sparse_nnz) * agg_dim
+    dense_bytes = sum(t.dma_bytes for t in tiles if t.owner != "sparse")
+    sparse_bytes = sum(t.dma_bytes for t in tiles if t.owner == "sparse")
+    assert dense_bytes == dense_nnz * 8
+    assert sparse_bytes == sparse_nnz * 6
+    # Near-even: tile shares within one class differ by at most one nnz.
+    for cls in range(len(dense_per_class)):
+        macs = [t.macs for t in tiles if t.owner == f"chunk{cls}"]
+        assert max(macs) - min(macs) <= agg_dim
+
+
+def test_tiles_from_profile_schedules_measured_blocks(partitioned):
+    from repro.graphs.normalize import symmetric_normalize
+    from repro.hardware import extract_workload
+    from repro.hardware.event_sim import tiles_from_profile
+    from repro.sparse.kernels import layout_tile_profile
+
+    graph, layout = partitioned
+    a_hat = symmetric_normalize(graph.adj)
+    profile = layout_tile_profile(a_hat, layout, width=16)
+    tiles = tiles_from_profile(profile, agg_dim=16)
+    assert sum(t.macs for t in tiles) == a_hat.nnz * 16
+    assert all(t.macs > 0 for t in tiles)  # zero-work tiles dropped
+
+    wl = extract_workload(graph, layout, "gcn")
+    report = simulate_aggregation(wl, agg_dim=16, tile_profile=profile)
+    assert report.cycles > 0
+    assert report.finish_skew >= 1.0
 
 
 def test_simulated_chunks_finish_together(gcod_result):

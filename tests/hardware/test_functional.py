@@ -5,10 +5,13 @@ import pytest
 
 from repro.hardware.functional import (
     ExecutionTrace,
+    WeightBufferDirectory,
     execute_gcn,
     execute_layer,
     reference_gcn,
 )
+
+BACKENDS = ("reference", "vectorized", "tiled")
 
 
 @pytest.fixture(scope="module")
@@ -21,11 +24,26 @@ def weights(request):
     ]
 
 
-def test_execution_matches_reference(partitioned, weights):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_execution_matches_reference(partitioned, weights, backend):
     graph, layout = partitioned
-    out, _ = execute_gcn(graph, layout, weights)
+    out, _ = execute_gcn(graph, layout, weights, kernel_backend=backend)
     ref = reference_gcn(graph, weights)
     np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+def test_traces_identical_across_backends(partitioned, weights):
+    # The schedule is the single source of truth: whichever backend does
+    # the arithmetic, every counter of every layer's trace is identical.
+    graph, layout = partitioned
+    runs = {
+        backend: execute_gcn(graph, layout, weights, kernel_backend=backend)
+        for backend in BACKENDS
+    }
+    _, ref_traces = runs["reference"]
+    for backend in ("vectorized", "tiled"):
+        _, traces = runs[backend]
+        assert traces == ref_traces, backend
 
 
 def test_single_layer_with_relu(partitioned, weights):
@@ -93,3 +111,51 @@ def test_empty_trace_defaults():
     assert t.forward_rate == 0.0
     assert t.chunk_balance() == 1.0
     assert t.dense_macs == 0
+
+
+def _partial_layout(n=40):
+    """A layout whose spans cover only part of [0, n) (rows 10-20 uncovered)."""
+    from repro.partition.layout import BlockLayout, SubgraphSpan
+
+    spans = [
+        SubgraphSpan(subgraph_id=0, class_id=0, group_id=0, start=0, stop=10),
+        SubgraphSpan(subgraph_id=1, class_id=1, group_id=0, start=20, stop=40),
+    ]
+    node_subgraph = np.full(n, -1, dtype=np.int64)
+    node_subgraph[0:10] = 0
+    node_subgraph[20:40] = 1
+    return BlockLayout(
+        perm=np.arange(n, dtype=np.int64),
+        node_class=np.zeros(n, dtype=np.int64),
+        node_group=np.zeros(n, dtype=np.int64),
+        node_subgraph=node_subgraph,
+        spans=spans,
+        num_classes=2,
+        num_groups=1,
+    )
+
+
+def test_directory_scalar_and_batched_queries_agree_on_partial_layout():
+    # The scalar walk and the batched closed form must advance chunks at
+    # the same pace and agree column-for-column, including the uncovered
+    # node range (always a miss) and columns beyond the layout.
+    layout = _partial_layout(40)
+    num_columns = 50  # graph larger than the layout
+    directory = WeightBufferDirectory(
+        layout, buffer_rows=3, num_columns=num_columns
+    )
+    columns = np.arange(num_columns)
+    batched = directory.query_many(columns)
+    for j in columns:
+        directory.advance(int(j))
+        assert directory.query(int(j)) == batched[j], j
+    # Uncovered rows and out-of-layout rows never hit.
+    assert not batched[10:20].any()
+    assert not batched[40:].any()
+    assert batched.any()  # covered spans do forward
+
+
+def test_directory_defaults_to_layout_sweep_length(partitioned):
+    _, layout = partitioned
+    directory = WeightBufferDirectory(layout, buffer_rows=5)
+    assert directory.num_columns == layout.num_nodes

@@ -1,10 +1,10 @@
-"""Kernel backend registry + vectorized/reference parity.
+"""Kernel backend registry + vectorized/tiled/reference parity.
 
-The ``vectorized`` backend is only allowed to exist because it is
-numerically indistinguishable from the loop-exact ``reference`` kernels:
-every kernel family is held to 1e-12 here, across both product orders,
-duplicate indices, empty rows/columns, rectangular shapes, and empty
-operands.
+The ``vectorized`` and ``tiled`` backends are only allowed to exist because
+they are numerically indistinguishable from the loop-exact ``reference``
+kernels: every kernel family is held to 1e-12 here, across both product
+orders, duplicate indices, empty rows/columns, rectangular shapes, and
+empty operands.
 """
 
 import numpy as np
@@ -22,6 +22,10 @@ from repro.sparse import kernels as K
 
 REF = K.get_backend("reference")
 VEC = K.get_backend("vectorized")
+TIL = K.get_backend("tiled")
+
+#: The backends that must be numerically indistinguishable from REF.
+FAST = [VEC, TIL]
 
 #: (rows, cols, nnz, force_duplicates) covering the awkward geometries
 SHAPES = [
@@ -53,9 +57,9 @@ def _close(a, b):
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
-def test_registry_lists_both_backends():
+def test_registry_lists_all_backends():
     names = K.available_backends()
-    assert "reference" in names and "vectorized" in names
+    assert {"reference", "vectorized", "tiled"} <= set(names)
 
 
 def test_default_backend_is_vectorized():
@@ -93,22 +97,37 @@ def test_register_backend_rejects_unnamed():
 # ----------------------------------------------------------------------
 # product-order SpMM parity
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("fast", FAST, ids=lambda b: b.name)
 @pytest.mark.parametrize("n,m,nnz,dup", SHAPES)
-def test_row_product_parity(rng, n, m, nnz, dup):
+def test_row_product_parity(rng, n, m, nnz, dup, fast):
     coo = _random_coo(rng, n, m, nnz, dup)
     csr = CSRMatrix.from_coo(coo)
     b = rng.normal(size=(m, 5))
-    _close(VEC.spmm_row_product(csr, b), REF.spmm_row_product(csr, b))
-    _close(VEC.spmm_row_product(csr, b), coo.to_dense() @ b)
+    _close(fast.spmm_row_product(csr, b), REF.spmm_row_product(csr, b))
+    _close(fast.spmm_row_product(csr, b), coo.to_dense() @ b)
 
 
+@pytest.mark.parametrize("fast", FAST, ids=lambda b: b.name)
 @pytest.mark.parametrize("n,m,nnz,dup", SHAPES)
-def test_column_product_parity(rng, n, m, nnz, dup):
+def test_column_product_parity(rng, n, m, nnz, dup, fast):
     coo = _random_coo(rng, n, m, nnz, dup)
     csc = CSCMatrix.from_coo(coo)
     b = rng.normal(size=(m, 4))
-    _close(VEC.spmm_column_product(csc, b), REF.spmm_column_product(csc, b))
-    _close(VEC.spmm_column_product(csc, b), coo.to_dense() @ b)
+    _close(fast.spmm_column_product(csc, b), REF.spmm_column_product(csc, b))
+    _close(fast.spmm_column_product(csc, b), coo.to_dense() @ b)
+
+
+@pytest.mark.parametrize("n,m,nnz,dup", SHAPES)
+def test_tiled_multi_tile_parity(rng, n, m, nnz, dup):
+    # A tile size smaller than the operands forces multi-tile execution.
+    backend = K.TiledBackend(tile_size=3)
+    coo = _random_coo(rng, n, m, nnz, dup)
+    b = rng.normal(size=(m, 5))
+    csr, csc = CSRMatrix.from_coo(coo), CSCMatrix.from_coo(coo)
+    _close(backend.spmm_row_product(csr, b), REF.spmm_row_product(csr, b))
+    _close(
+        backend.spmm_column_product(csc, b), REF.spmm_column_product(csc, b)
+    )
 
 
 def test_single_column_dense_operand(rng):
@@ -120,7 +139,7 @@ def test_single_column_dense_operand(rng):
     )
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("backend", ["reference", "vectorized", "tiled"])
 def test_spmm_dispatch_honors_backend_argument(rng, backend):
     coo = _random_coo(rng, 10, 8, 30, False)
     b = rng.normal(size=(8, 3))
@@ -136,7 +155,7 @@ def test_spmm_rejects_unknown_backend(rng):
         spmm(CSRMatrix.from_coo(coo), rng.normal(size=(4, 2)), backend="nope")
 
 
-@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("backend", ["reference", "vectorized", "tiled"])
 def test_vectorized_shape_errors_match_reference(rng, backend):
     coo = _random_coo(rng, 6, 5, 10, False)
     csr = CSRMatrix.from_coo(coo)
