@@ -26,6 +26,7 @@ from repro.nn.models import build_model
 from repro.nn.models.base import GNNModel, GraphOps
 from repro.nn.training import TrainResult, train_model
 from repro.partition.layout import BlockLayout, partition_graph
+from repro.runtime.counters import record_gcod_run
 from repro.utils.rng import ensure_rng
 
 
@@ -56,6 +57,31 @@ class GCoDResult:
         after = self.final_graph.adj.nnz
         return 1.0 - after / max(before, 1)
 
+    def to_summary_dict(self) -> Dict[str, object]:
+        """Machine-readable summary (cache-entry metadata, JSON reports).
+
+        Deliberately scalar-only: the heavyweight payload (graphs, model,
+        ADMM history) stays in the pickled artifact; this is what ``repro
+        cache ls`` and ``report.json`` surface about a run.
+        """
+        return {
+            "arch": self.arch,
+            "dataset": self.final_graph.name,
+            "seed": self.config.seed,
+            "accuracy_pretrain": float(self.accuracy_pretrain),
+            "accuracy_after_tuning": float(self.accuracy_after_tuning),
+            "accuracy_final": float(self.accuracy_final),
+            "total_edge_reduction": float(self.total_edge_reduction),
+            "dense_fraction": float(
+                self.layout.dense_fraction(self.final_graph.adj)
+            ),
+            "pretrain_epochs_run": int(self.pretrain_epochs_run),
+            "early_bird_epoch": self.early_bird_epoch,
+            "relative_cost": float(
+                self.cost_breakdown.get("relative_cost", 0.0)
+            ),
+        }
+
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
         return (
@@ -76,6 +102,9 @@ class GCoDTrainer:
 
     def run(self, graph: Graph) -> GCoDResult:
         """Execute Steps 1-3 on ``graph`` and return the full result."""
+        # The artifact store's warm-cache guarantee ("a warm report performs
+        # zero training runs") is asserted against this counter.
+        record_gcod_run()
         cfg = self.config
         rng = ensure_rng(cfg.seed)
 

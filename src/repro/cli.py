@@ -3,67 +3,63 @@
 Commands
 --------
 ``experiment <name>``
-    Run one paper experiment (``fig04``, ``fig09``, ``fig10``, ``fig11``,
-    ``fig12``, ``tab03``, ``tab04``, ``tab05``, ``tab06``, ``tab07``,
-    ``ablation-cs``, ``ablation-design``, ``training-cost``) and print the
+    Run one paper experiment (names come from the runtime registry:
+    ``fig04``, ``fig09``, ``fig10``, ``fig11``, ``fig12``, ``tab03``,
+    ``tab04``, ``tab05``, ``tab06``, ``tab07``, ``ablation-cs``,
+    ``ablation-design``, ``training-cost``, ``reordering``) and print the
     regenerated table/figure.
 ``train <dataset>``
     Run the full GCoD pipeline on one dataset and print the summary.
 ``simulate <dataset>``
     Map a GCoD-trained graph onto every platform and print the speedups.
 ``report``
-    Run every experiment and write a combined report.
+    Run every experiment (``--experiments a,b`` to select) and write a
+    combined report. ``--jobs N`` trains the de-duplicated GCoD
+    dependencies across a process pool; ``--format json --out DIR`` writes
+    machine-readable per-experiment files instead of markdown.
+``cache``
+    Inspect the persistent artifact store: ``ls``, ``stats``, ``clear``.
+
+All commands share ``--profile``, ``--kernel-backend``, and the artifact
+store flags: results persist under ``--cache-dir`` (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gcod``) so a second invocation
+reuses every trained pipeline; ``--no-cache`` disables persistence.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Callable, Dict, Optional
+import time
+from typing import Optional
 
+from repro.errors import UnknownDatasetError, UnknownExperimentError
 from repro.evaluation import EvalContext
-from repro.sparse.kernels import available_backends, set_default_backend
-from repro.evaluation.experiments import (
-    ablation_cs,
-    ablation_design,
-    fig04_visualization,
-    fig09_citation_speedups,
-    fig10_large_speedups,
-    fig11_memory,
-    fig12_energy,
-    reordering_compare,
-    tab03_datasets,
-    tab04_models,
-    tab05_systems,
-    tab06_breakdown,
-    tab07_accuracy,
-    training_cost,
+from repro.runtime import CODE_SCHEMA_VERSION
+from repro.runtime.registry import (
+    all_experiments,
+    experiment_names,
+    get_experiment,
 )
+from repro.runtime.store import ArtifactStore, default_cache_dir
+from repro.sparse.kernels import available_backends, set_default_backend
 
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig04": fig04_visualization.run,
-    "fig09": fig09_citation_speedups.run,
-    "fig10": fig10_large_speedups.run,
-    "fig11": fig11_memory.run,
-    "fig12": fig12_energy.run,
-    "tab03": tab03_datasets.run,
-    "tab04": tab04_models.run,
-    "tab05": tab05_systems.run,
-    "tab06": tab06_breakdown.run,
-    "tab07": tab07_accuracy.run,
-    "ablation-cs": ablation_cs.run,
-    "reordering": reordering_compare.run,
-    "ablation-design": ablation_design.run,
-    "training-cost": training_cost.run,
-}
+
+def __getattr__(name: str):
+    # Back-compat (PEP 562): the old hard-coded ``EXPERIMENTS`` dict is now
+    # derived from the registry on access, so it can never drift from the
+    # registered specs.
+    if name == "EXPERIMENTS":
+        return {spec.name: spec.runner for spec in all_experiments()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _cmd_experiment(args, ctx: EvalContext) -> int:
-    if args.name not in EXPERIMENTS:
-        print(f"unknown experiment {args.name!r}; choose from "
-              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
-        return 2
-    result = EXPERIMENTS[args.name](ctx)
+    # an unknown name raises UnknownExperimentError; main() turns it into
+    # a clear message and exit code 2
+    result = get_experiment(args.name).runner(ctx)
     print(result.render())
     return 0
 
@@ -87,15 +83,149 @@ def _cmd_simulate(args, ctx: EvalContext) -> int:
 
 
 def _cmd_report(args, ctx: EvalContext) -> int:
-    from repro.evaluation.report import generate_report
+    from repro.evaluation.report import (
+        generate_report,
+        report_results,
+        shape_checks,
+    )
 
-    text = generate_report(ctx)
+    names = None
+    if args.experiments:
+        # dedup, preserving order: a repeated name would execute (and
+        # render) the experiment twice on a store-less run
+        names = list(dict.fromkeys(
+            n.strip() for n in args.experiments.split(",") if n.strip()
+        ))
+        if not names:
+            print("--experiments selected nothing", file=sys.stderr)
+            return 2
+        try:
+            for name in names:
+                get_experiment(name)
+        except UnknownExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    progress = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet \
+        else None
+    t0 = time.perf_counter()
+
+    if args.format == "markdown":
+        if args.out:
+            print("--out is for --format json/csv; markdown wants "
+                  "--output FILE", file=sys.stderr)
+            return 2
+        text = generate_report(ctx, names=names, jobs=args.jobs,
+                               progress=progress)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
+    # json / csv: one machine-readable file per experiment under --out
+    # (never --output: that names the markdown file, not a directory).
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(text)
-        print(f"wrote {args.output}")
-    else:
-        print(text)
+        print(f"--output is for markdown; --format {args.format} wants "
+              "--out DIR", file=sys.stderr)
+        return 2
+    out_dir = args.out
+    if not out_dir:
+        print(f"--format {args.format} requires --out DIR", file=sys.stderr)
+        return 2
+    os.makedirs(out_dir, exist_ok=True)
+    run = report_results(ctx, names=names, jobs=args.jobs, progress=progress)
+    written = []
+    for name, result in run.results.items():
+        ext = "json" if args.format == "json" else "csv"
+        path = os.path.join(out_dir, f"{name}.{ext}")
+        with open(path, "w") as fh:
+            fh.write(result.to_json() if args.format == "json"
+                     else result.to_csv())
+        written.append(path)
+    shape_lines = shape_checks(ctx) if names is None else None
+    from repro.sparse.kernels import get_backend
+
+    index = {
+        "profile": ctx.profile,
+        # resolved name, matching the cache-key normalization: a default
+        # run and an explicit --kernel-backend vectorized run are the
+        # same series
+        "kernel_backend": get_backend(ctx.kernel_backend).name,
+        "seed": ctx.seed,
+        "schema": CODE_SCHEMA_VERSION,
+        "experiments": list(run.results),
+        "cache_hits": run.cache_hits,
+        # parent-process training runs; with --jobs N the pool workers do
+        # the cold-run training, which tasks_executed counts.
+        "gcod_runs_in_parent": run.gcod_runs,
+        "gcod_tasks_executed": run.tasks_executed,
+        "timings_s": {k: round(v, 4) for k, v in run.timings.items()},
+        # captured after the shape checks so the index reflects the full
+        # invocation cost (CI charts warm/cold trajectories off this)
+        "wall_s": round(time.perf_counter() - t0, 4),
+    }
+    if shape_lines is not None:
+        index["shape_checks"] = shape_lines
+    index_path = os.path.join(out_dir, "report.json")
+    with open(index_path, "w") as fh:
+        json.dump(index, fh, indent=2)
+    print(f"wrote {len(written)} experiment files + report.json to {out_dir}")
+    return 0
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GB"
+
+
+def _cmd_cache(args, ctx: EvalContext) -> int:
+    if ctx.store is None:
+        # --no-cache promises not to touch on-disk artifacts; refusing is
+        # safer than silently operating on the default store.
+        print("cache commands need a store; drop --no-cache",
+              file=sys.stderr)
+        return 2
+    store = ctx.store
+    if args.action == "clear":
+        removed = store.clear(kind=args.kind)
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"artifact store: {store.root}")
+        for kind in sorted(k for k in stats if k != "total"):
+            row = stats[kind]
+            print(f"  {kind:<12} {int(row['entries']):>5} entries  "
+                  f"{_human_bytes(row['bytes'])}")
+        total = stats["total"]
+        print(f"  {'total':<12} {int(total['entries']):>5} entries  "
+              f"{_human_bytes(total['bytes'])}")
+        return 0
+    # ls
+    count = 0
+    for entry in store.entries(kind=args.kind):
+        summary = entry.meta.get("summary", {})
+        extras = ""
+        if summary:
+            bits = [
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(summary.items())
+                if isinstance(v, (str, int, float))
+            ][:6]
+            extras = "  " + " ".join(bits)
+        stamp = time.strftime("%Y-%m-%d %H:%M",
+                              time.localtime(entry.created))
+        print(f"{entry.kind:<12} {entry.digest[:12]}  "
+              f"{_human_bytes(entry.size_bytes):>9}  {stamp}{extras}")
+        count += 1
+    if count == 0:
+        print(f"(empty store at {store.root})")
     return 0
 
 
@@ -111,10 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="SpMM kernel backend for all numerics "
                              "(default: vectorized)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact store location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-gcod)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not persist/reuse artifacts on disk")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
-    p_exp.add_argument("name", help=", ".join(sorted(EXPERIMENTS)))
+    p_exp.add_argument("name", help=", ".join(experiment_names()))
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_train = sub.add_parser("train", help="run the GCoD pipeline")
@@ -128,8 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("report", help="run everything, write a report")
-    p_rep.add_argument("--output", "-o", default=None)
+    p_rep.add_argument("--output", "-o", default=None,
+                       help="markdown output file (default: stdout)")
+    p_rep.add_argument("--format", choices=("markdown", "json", "csv"),
+                       default="markdown",
+                       help="output format (json/csv write per-experiment "
+                            "files under --out)")
+    p_rep.add_argument("--out", default=None,
+                       help="output directory for --format json/csv")
+    p_rep.add_argument("--jobs", "-j", type=int, default=1,
+                       help="process-pool width for GCoD training runs")
+    p_rep.add_argument("--experiments", default=None,
+                       help="comma-separated experiment subset (default: all)")
+    p_rep.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines on stderr")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser("cache", help="inspect the artifact store")
+    p_cache.add_argument("action", choices=("ls", "stats", "clear"))
+    p_cache.add_argument("--kind", default=None,
+                         help="restrict to one artifact kind "
+                              "(graph/gcod/trace/experiment)")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 
@@ -140,8 +295,16 @@ def main(argv: Optional[list] = None) -> int:
         # Make the choice process-wide so even code paths that never see the
         # context (direct GraphOps construction, the emulator) honor it.
         set_default_backend(args.kernel_backend)
-    ctx = EvalContext(profile=args.profile, kernel_backend=args.kernel_backend)
-    return args.func(args, ctx)
+    store = None
+    if not args.no_cache:
+        store = ArtifactStore(args.cache_dir or default_cache_dir())
+    ctx = EvalContext(profile=args.profile, kernel_backend=args.kernel_backend,
+                      store=store)
+    try:
+        return args.func(args, ctx)
+    except (UnknownDatasetError, UnknownExperimentError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

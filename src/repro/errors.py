@@ -21,5 +21,23 @@ class PartitionError(ReproError):
     """Graph partitioning failed or was given invalid inputs."""
 
 
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment name not present in the runtime registry was requested.
+
+    Subclasses ``KeyError`` so registry lookups keep behaving like mapping
+    access for callers that predate the registry.
+    """
+
+    def __str__(self):  # KeyError quotes its message; keep it readable
+        return ReproError.__str__(self)
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """A dataset name not present in ``DATASET_SPECS`` was requested."""
+
+    def __str__(self):
+        return ReproError.__str__(self)
+
+
 class CompileError(ReproError):
     """The hardware compiler could not map the model onto the accelerator."""

@@ -2,14 +2,23 @@
 
 Running GCoD training is the expensive part of every experiment, and several
 tables need the same trained graphs, so :class:`EvalContext` memoizes
-dataset generation and GCoD pipeline runs per (dataset, arch) within a
-process. The ``fast`` profile (default) uses reduced scales and epoch
-budgets so the whole harness completes in minutes; ``full`` uses the paper's
-settings.
+dataset generation and GCoD pipeline runs within a process — and, when an
+:class:`~repro.runtime.store.ArtifactStore` is attached, persists them
+across processes under stable content-addressed keys (see
+:mod:`repro.runtime.keys`). The ``fast`` profile (default) uses reduced
+scales and epoch budgets so the whole harness completes in minutes;
+``full`` uses the paper's settings.
+
+Cache keys include the kernel backend and the effective dataset scale, so
+two contexts that share memo dictionaries (e.g. via ``dataclasses.replace``)
+but differ in backend or scale can never serve each other stale entries.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -17,11 +26,21 @@ from repro.algorithm import GCoDConfig, GCoDResult, run_gcod
 from repro.graphs import Graph, load_dataset
 from repro.hardware import GCNWorkload, extract_workload
 from repro.hardware.accelerators import all_platforms
+from repro.runtime import keys as runtime_keys
+from repro.runtime.store import ArtifactStore
 from repro.utils.tables import format_table
 
 CITATION_DATASETS = ("cora", "citeseer", "pubmed")
 LARGE_DATASETS = ("nell", "reddit")
 ALL_DATASETS = CITATION_DATASETS + LARGE_DATASETS + ("ogbn-arxiv",)
+
+
+def _plain(value):
+    """Coerce a cell value to a JSON-friendly plain Python value."""
+    try:
+        return runtime_keys.jsonable(value)
+    except TypeError:
+        return str(value)  # an exotic cell type: serialize its repr
 
 
 @dataclass
@@ -49,6 +68,42 @@ class ExperimentResult:
                 cols[h].append(v)
         return cols
 
+    # ------------------------------------------------------------------
+    # machine-readable serialization (`repro report --format json/csv`)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict:
+        """A plain-Python dict round-trippable through JSON."""
+        return {
+            "name": self.name,
+            "headers": [str(h) for h in self.headers],
+            "rows": [[_plain(v) for v in row] for row in self.rows],
+            "extra_text": self.extra_text,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The result as a JSON document."""
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            name=data["name"],
+            headers=tuple(data["headers"]),
+            rows=[tuple(row) for row in data["rows"]],
+            extra_text=data.get("extra_text", ""),
+        )
+
+    def to_csv(self) -> str:
+        """The rows as an RFC-4180 CSV document (headers included)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow([str(h) for h in self.headers])
+        for row in self.rows:
+            writer.writerow([_plain(v) for v in row])
+        return buf.getvalue()
+
 
 @dataclass
 class EvalContext:
@@ -61,13 +116,12 @@ class EvalContext:
     #: are the other registered engines).
     kernel_backend: Optional[str] = None
     dataset_scales: Dict[str, float] = field(default_factory=dict)
-    _graphs: Dict[str, Graph] = field(default_factory=dict, repr=False)
-    _gcod: Dict[Tuple[str, str], GCoDResult] = field(
-        default_factory=dict, repr=False
-    )
-    _traces: Dict[Tuple[str, str], object] = field(
-        default_factory=dict, repr=False
-    )
+    #: optional persistent artifact store; when attached, graphs, GCoD
+    #: results, and traces survive across processes.
+    store: Optional[ArtifactStore] = None
+    _graphs: Dict[tuple, Graph] = field(default_factory=dict, repr=False)
+    _gcod: Dict[tuple, GCoDResult] = field(default_factory=dict, repr=False)
+    _traces: Dict[tuple, object] = field(default_factory=dict, repr=False)
     _platforms: Optional[dict] = field(default=None, repr=False)
 
     # fast-profile scales chosen so each dataset trains in seconds while
@@ -89,6 +143,12 @@ class EvalContext:
             return self._FAST_SCALES.get(dataset)
         return None  # full profile: each spec's default scale
 
+    def _backend_name(self) -> str:
+        """The kernel backend name with ``None`` resolved to the default."""
+        from repro.sparse.kernels import get_backend
+
+        return get_backend(self.kernel_backend).name
+
     def gcod_config(self) -> GCoDConfig:
         """The GCoD hyper-parameters for this profile."""
         if self.profile == "fast":
@@ -102,26 +162,107 @@ class EvalContext:
             )
         return GCoDConfig(seed=self.seed, kernel_backend=self.kernel_backend)
 
+    def gcod_config_for(self, arch: str) -> GCoDConfig:
+        """The per-arch config :meth:`gcod` (and the runner) will use."""
+        config = self.gcod_config()
+        if arch == "resgcn":  # 28 layers is too deep for fast training
+            config = replace(
+                config, pretrain_epochs=min(config.pretrain_epochs, 15),
+                retrain_epochs=min(config.retrain_epochs, 10),
+            )
+        return config
+
+    # ------------------------------------------------------------------
+    # cache keys (in-memory memo + persistent store)
+    # ------------------------------------------------------------------
+    def _graph_memo_key(self, dataset: str) -> tuple:
+        return (dataset, self.scale_for(dataset), self.seed)
+
+    def _gcod_memo_key(self, dataset: str, arch: str) -> tuple:
+        # Backend, effective scale, and profile are part of the key:
+        # contexts created via ``replace(ctx, kernel_backend=...)`` (or
+        # ``profile=...``) share these memo dicts, and must never silently
+        # share trained results. Profile matters even at an identical
+        # explicit scale because it selects the epoch budgets.
+        return (dataset, arch, self._backend_name(),
+                self.scale_for(dataset), self.seed, self.profile)
+
+    def graph_store_key(self, dataset: str) -> runtime_keys.ArtifactKey:
+        """The persistent-store key of this context's ``dataset`` graph."""
+        return runtime_keys.graph_key(
+            dataset, self.scale_for(dataset), self.seed
+        )
+
+    def gcod_store_key(
+        self, dataset: str, arch: str = "gcn"
+    ) -> runtime_keys.ArtifactKey:
+        """The persistent-store key of this context's (dataset, arch) run."""
+        return runtime_keys.gcod_key(
+            dataset,
+            self.scale_for(dataset),
+            arch,
+            self.gcod_config_for(arch),
+            self.kernel_backend,
+            self.seed,
+            self.profile,
+        )
+
+    def experiment_store_key(self, name: str) -> runtime_keys.ArtifactKey:
+        """The persistent-store key of experiment ``name`` in this context."""
+        return runtime_keys.experiment_key(
+            name, self.profile, self.seed, self.kernel_backend,
+            self.dataset_scales,
+        )
+
+    # ------------------------------------------------------------------
+    # cached products
+    # ------------------------------------------------------------------
     def graph(self, dataset: str) -> Graph:
         """The (cached) synthetic graph for ``dataset``."""
-        if dataset not in self._graphs:
-            self._graphs[dataset] = load_dataset(
-                dataset, scale=self.scale_for(dataset), seed=self.seed
-            )
-        return self._graphs[dataset]
+        memo = self._graph_memo_key(dataset)
+        if memo not in self._graphs:
+            graph = None
+            if self.store is not None:
+                graph = self.store.get(self.graph_store_key(dataset))
+            if graph is None:
+                graph = load_dataset(
+                    dataset, scale=self.scale_for(dataset), seed=self.seed
+                )
+                if self.store is not None:
+                    self.store.put(self.graph_store_key(dataset), graph)
+            self._graphs[memo] = graph
+        return self._graphs[memo]
+
+    def has_gcod(self, dataset: str, arch: str = "gcn") -> bool:
+        """True if (dataset, arch) is already trained (memory or store)."""
+        if self._gcod_memo_key(dataset, arch) in self._gcod:
+            return True
+        return self.store is not None and self.store.contains(
+            self.gcod_store_key(dataset, arch)
+        )
 
     def gcod(self, dataset: str, arch: str = "gcn") -> GCoDResult:
         """The (cached) GCoD pipeline result for (dataset, arch)."""
-        key = (dataset, arch)
-        if key not in self._gcod:
-            config = self.gcod_config()
-            if arch == "resgcn":  # 28 layers is too deep for fast training
+        memo = self._gcod_memo_key(dataset, arch)
+        if memo not in self._gcod:
+            result = None
+            key = self.gcod_store_key(dataset, arch)
+            if self.store is not None:
+                result = self.store.get(key)
+            if result is None:
+                # Run with the backend name resolved (same numerics), so the
+                # stored artifact is byte-identical whether this context or
+                # a pool worker — which must resolve eagerly — produced it.
                 config = replace(
-                    config, pretrain_epochs=min(config.pretrain_epochs, 15),
-                    retrain_epochs=min(config.retrain_epochs, 10),
+                    self.gcod_config_for(arch),
+                    kernel_backend=self._backend_name(),
                 )
-            self._gcod[key] = run_gcod(self.graph(dataset), arch, config)
-        return self._gcod[key]
+                result = run_gcod(self.graph(dataset), arch, config)
+                if self.store is not None:
+                    self.store.put(key, result,
+                                   summary=result.to_summary_dict())
+            self._gcod[memo] = result
+        return self._gcod[memo]
 
     def platforms(self) -> dict:
         """The (cached) platform models, keyed by name."""
@@ -140,19 +281,27 @@ class EvalContext:
         """
         from repro.hardware.functional import execute_layer
 
-        key = (dataset, arch)
-        if key not in self._traces:
-            result = self.gcod(dataset, arch)
-            first_weight = result.model.layers[0].weight.data
-            execution = execute_layer(
-                result.final_graph,
-                result.layout,
-                result.final_graph.features,
-                first_weight,
-                kernel_backend=self.kernel_backend,
-            )
-            self._traces[key] = execution.trace
-        return self._traces[key]
+        memo = self._gcod_memo_key(dataset, arch)
+        if memo not in self._traces:
+            trace = None
+            key = runtime_keys.trace_key(self.gcod_store_key(dataset, arch))
+            if self.store is not None:
+                trace = self.store.get(key)
+            if trace is None:
+                result = self.gcod(dataset, arch)
+                first_weight = result.model.layers[0].weight.data
+                execution = execute_layer(
+                    result.final_graph,
+                    result.layout,
+                    result.final_graph.features,
+                    first_weight,
+                    kernel_backend=self.kernel_backend,
+                )
+                trace = execution.trace
+                if self.store is not None:
+                    self.store.put(key, trace)
+            self._traces[memo] = trace
+        return self._traces[memo]
 
     # ------------------------------------------------------------------
     # workload helpers

@@ -22,6 +22,7 @@ from repro.evaluation.context import (
     default_context,
 )
 from repro.hardware import extract_workload
+from repro.runtime.registry import register_experiment
 
 
 def run(
@@ -84,3 +85,11 @@ def run(
         rows=rows,
         extra_text=summary,
     )
+
+# The (C, S) sweep trains privately tuned configs; no shareable GCoD deps.
+SPEC = register_experiment(
+    name="ablation-cs",
+    title="Ablation — C x S sweep (Sec. VI-C)",
+    runner=run,
+    order=120,
+)

@@ -26,6 +26,7 @@ from repro.evaluation.context import (
 )
 from repro.hardware import extract_workload
 from repro.hardware.accelerators import GCoDAccelerator
+from repro.runtime.registry import register_experiment
 
 
 def run(
@@ -90,3 +91,14 @@ def run(
                  "offchip vs full", "dense fraction"),
         rows=rows,
     )
+
+# The ablations themselves retrain with a mechanism removed (private,
+# unshareable runs), but the full-GCoD baseline rows come from
+# ``context.gcod`` on the two default datasets — those are shareable.
+SPEC = register_experiment(
+    name="ablation-design",
+    title="Ablation — design choices",
+    runner=run,
+    gcod_deps=(("cora", "gcn"), ("reddit", "gcn")),
+    order=130,
+)

@@ -17,6 +17,7 @@ from repro.evaluation.context import (
     default_context,
 )
 from repro.utils.ascii_plot import density_plot
+from repro.runtime.registry import register_experiment
 
 
 def run(
@@ -61,3 +62,11 @@ def run(
         rows=rows,
         extra_text="\n\n".join(blocks),
     )
+
+SPEC = register_experiment(
+    name="fig04",
+    title="Fig. 4 — adjacency polarization",
+    runner=run,
+    gcod_deps=tuple((ds, "gcn") for ds in CITATION_DATASETS),
+    order=40,
+)

@@ -11,6 +11,7 @@ from repro.evaluation.context import (
     default_context,
 )
 from repro.utils.ascii_plot import bar_chart
+from repro.runtime.registry import register_experiment
 
 PLATFORM_ORDER = (
     "pyg-gpu",
@@ -58,3 +59,13 @@ def run(
         rows=rows,
         extra_text="\n\n".join(charts),
     )
+
+SPEC = register_experiment(
+    name="fig09",
+    title="Fig. 9 — citation-graph speedups",
+    runner=run,
+    gcod_deps=tuple(
+        (ds, arch) for arch in MODELS for ds in CITATION_DATASETS
+    ),
+    order=50,
+)

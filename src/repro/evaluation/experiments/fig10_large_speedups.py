@@ -14,6 +14,7 @@ from repro.evaluation.context import (
     ExperimentResult,
     default_context,
 )
+from repro.runtime.registry import register_experiment
 
 PLATFORMS = ("pyg-gpu", "dgl-cpu", "dgl-gpu", "hygcn", "awb-gcn",
              "gcod", "gcod-8bit")
@@ -50,3 +51,11 @@ def run(
         headers=("model", "dataset") + tuple(platforms),
         rows=rows,
     )
+
+SPEC = register_experiment(
+    name="fig10",
+    title="Fig. 10 — large-graph speedups",
+    runner=run,
+    gcod_deps=tuple((ds, arch) for arch, ds in CASES),
+    order=60,
+)

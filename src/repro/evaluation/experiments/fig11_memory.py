@@ -20,6 +20,7 @@ from repro.evaluation.context import (
     ExperimentResult,
     default_context,
 )
+from repro.runtime.registry import register_experiment
 
 DATASETS = CITATION_DATASETS + LARGE_DATASETS
 
@@ -71,3 +72,11 @@ def run(
         rows=rows,
         extra_text=summary,
     )
+
+SPEC = register_experiment(
+    name="fig11",
+    title="Fig. 11 — bandwidth & off-chip accesses",
+    runner=run,
+    gcod_deps=tuple((ds, "gcn") for ds in DATASETS),
+    order=70,
+)

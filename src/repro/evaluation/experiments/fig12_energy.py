@@ -16,6 +16,7 @@ from repro.evaluation.context import (
     ExperimentResult,
     default_context,
 )
+from repro.runtime.registry import register_experiment
 
 DATASETS = ("cora", "citeseer", "pubmed", "nell", "reddit")
 MODELS = ("gcn", "sage", "gin", "gat")
@@ -56,3 +57,11 @@ def run(
                  "total"),
         rows=rows,
     )
+
+SPEC = register_experiment(
+    name="fig12",
+    title="Fig. 12 — energy breakdown",
+    runner=run,
+    gcod_deps=tuple((ds, arch) for arch in MODELS for ds in DATASETS),
+    order=80,
+)

@@ -20,6 +20,7 @@ from repro.evaluation.context import (
     default_context,
 )
 from repro.graphs.reorder import REORDERING_BASELINES, permute_graph
+from repro.runtime.registry import register_experiment
 
 
 def run(
@@ -76,3 +77,11 @@ def run(
             "block structure for chunks; GCoD's trained layout does both."
         ),
     )
+
+SPEC = register_experiment(
+    name="reordering",
+    title="Reordering baselines (Sec. II)",
+    runner=run,
+    gcod_deps=(("cora", "gcn"),),
+    order=140,
+)

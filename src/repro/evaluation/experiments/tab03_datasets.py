@@ -11,6 +11,7 @@ from repro.evaluation.context import (
     default_context,
 )
 from repro.graphs import DATASET_SPECS, compute_stats
+from repro.runtime.registry import register_experiment
 
 
 def run(
@@ -43,3 +44,10 @@ def run(
                  "gen N", "gen M", "gen F", "gen sparsity", "degree gini"),
         rows=rows,
     )
+
+SPEC = register_experiment(
+    name="tab03",
+    title="Tab. III — dataset statistics",
+    runner=run,
+    order=10,
+)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.evaluation.context import ExperimentResult
+from repro.runtime.registry import register_experiment
 
 
 def run(context=None) -> ExperimentResult:
@@ -21,3 +22,10 @@ def run(context=None) -> ExperimentResult:
         headers=("model", "layers", "hidden dim", "aggregation", "details"),
         rows=rows,
     )
+
+SPEC = register_experiment(
+    name="tab04",
+    title="Tab. IV — model specifications",
+    runner=run,
+    order=20,
+)

@@ -9,6 +9,7 @@ from repro.hardware.accelerators import system_configurations
 from repro.hardware.accelerators.gcod import branch_characteristics
 from repro.hardware.dataflow import pipeline_characteristics
 from repro.utils.tables import format_table
+from repro.runtime.registry import register_experiment
 
 
 def run(context=None) -> ExperimentResult:
@@ -36,3 +37,10 @@ def run(context=None) -> ExperimentResult:
         rows=rows,
         extra_text=tab1 + "\n\n" + tab2,
     )
+
+SPEC = register_experiment(
+    name="tab05",
+    title="Tab. V (+ I, II) — system configurations",
+    runner=run,
+    order=30,
+)

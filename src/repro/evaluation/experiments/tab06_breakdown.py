@@ -19,6 +19,7 @@ from repro.evaluation.context import (
     ExperimentResult,
     default_context,
 )
+from repro.runtime.registry import register_experiment
 
 DATASETS = ("cora", "citeseer", "pubmed", "nell", "reddit")
 
@@ -80,3 +81,11 @@ def run(
         rows=rows,
         extra_text=summary,
     )
+
+SPEC = register_experiment(
+    name="tab06",
+    title="Tab. VI — speedup breakdown",
+    runner=run,
+    gcod_deps=tuple((ds, "gcn") for ds in DATASETS),
+    order=90,
+)

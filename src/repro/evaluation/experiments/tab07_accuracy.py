@@ -23,6 +23,7 @@ from repro.evaluation.context import (
 )
 from repro.nn.models import build_model
 from repro.nn.training import train_model
+from repro.runtime.registry import register_experiment
 
 
 def _fmt(values) -> object:
@@ -100,3 +101,11 @@ def run(
                  "degree-quant", "gcod", "gcod-8bit"),
         rows=rows,
     )
+
+SPEC = register_experiment(
+    name="tab07",
+    title="Tab. VII — accuracy vs compression",
+    runner=run,
+    gcod_deps=tuple((ds, "gcn") for ds in ("cora", "citeseer")),
+    order=100,
+)

@@ -19,6 +19,7 @@ from repro.evaluation.context import (
     ExperimentResult,
     default_context,
 )
+from repro.runtime.registry import register_experiment
 
 #: paper budgets scaled by 1/2.5: 400 -> 160 pretrain, 200 -> 80 retrain.
 _SCALED = dict(
@@ -60,3 +61,12 @@ def run(
         rows=rows,
         extra_text="paper: relative cost 0.7x-1.1x; step split ~5%/50%/45%.",
     )
+
+# Trains its own paper-proportioned pipelines (not ``context.gcod`` runs),
+# so it declares no shareable GCoD deps; its rendered result still caches.
+SPEC = register_experiment(
+    name="training-cost",
+    title="Training cost (Sec. IV-B2)",
+    runner=run,
+    order=110,
+)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.errors import UnknownDatasetError
 from repro.graphs.generators import powerlaw_community_graph
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, ensure_rng
@@ -88,7 +89,7 @@ def load_dataset(
     """
     key = name.lower()
     if key not in DATASET_SPECS:
-        raise KeyError(
+        raise UnknownDatasetError(
             f"unknown dataset {name!r}; choose from {sorted(DATASET_SPECS)}"
         )
     spec = DATASET_SPECS[key]

@@ -1,0 +1,55 @@
+"""Experiment runtime: artifact store, run counters, registry, runner.
+
+This package is the substrate under ``repro report``:
+
+* :mod:`repro.runtime.keys` — stable content-addressed cache keys
+  (``CODE_SCHEMA_VERSION`` lives here);
+* :mod:`repro.runtime.store` — the on-disk :class:`ArtifactStore`;
+* :mod:`repro.runtime.counters` — process-wide counters of real training
+  runs (the zero-runs-when-warm guarantee is asserted against these);
+* :mod:`repro.runtime.registry` — :class:`ExperimentSpec` descriptors that
+  the report generator and CLI discover instead of hard-coding lists;
+* :mod:`repro.runtime.runner` — the plan/execute split with ``--jobs N``
+  process-pool GCoD warming (imported lazily: it pulls in the algorithm
+  stack, which low-level users of the store/counters don't need).
+"""
+
+from repro.runtime.keys import (
+    CODE_SCHEMA_VERSION,
+    ArtifactKey,
+    experiment_key,
+    gcod_key,
+    graph_key,
+    stable_hash,
+    trace_key,
+)
+from repro.runtime.store import ArtifactStore, default_cache_dir, default_store
+from repro.runtime.registry import (
+    ExperimentSpec,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    resolve_experiments,
+)
+from repro.runtime import counters
+
+__all__ = [
+    "CODE_SCHEMA_VERSION",
+    "ArtifactKey",
+    "ArtifactStore",
+    "ExperimentSpec",
+    "all_experiments",
+    "counters",
+    "default_cache_dir",
+    "default_store",
+    "experiment_key",
+    "experiment_names",
+    "gcod_key",
+    "get_experiment",
+    "graph_key",
+    "register_experiment",
+    "resolve_experiments",
+    "stable_hash",
+    "trace_key",
+]

@@ -1,0 +1,34 @@
+"""Process-wide run counters: how many expensive things actually executed.
+
+The headline promise of the artifact store is that a warm ``repro report``
+performs *zero* GCoD training runs. That claim is only testable if the
+expensive call sites report themselves somewhere — so
+:meth:`~repro.algorithm.pipeline.GCoDTrainer.run` records every real
+pipeline execution here, and tests (plus ``benchmarks/bench_report.py``)
+snapshot the counter around a report to prove cache hits did the work.
+
+Counters are per-process: pool workers increment their own copies, so the
+parent's counter counts exactly the training runs the *parent* performed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_COUNTS: Dict[str, int] = {"gcod_runs": 0}
+
+
+def record_gcod_run() -> None:
+    """Note one real (non-cached) GCoD pipeline execution."""
+    _COUNTS["gcod_runs"] += 1
+
+
+def gcod_run_count() -> int:
+    """Number of GCoD pipeline executions in this process so far."""
+    return _COUNTS["gcod_runs"]
+
+
+def reset_counters() -> None:
+    """Zero all counters (test isolation)."""
+    for key in _COUNTS:
+        _COUNTS[key] = 0

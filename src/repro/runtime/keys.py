@@ -1,0 +1,179 @@
+"""Stable, content-addressed cache keys for experiment artifacts.
+
+Every artifact the runtime persists — generated graphs, GCoD pipeline
+results, execution traces, rendered experiment results — is addressed by a
+SHA-256 digest of a *canonical JSON payload* describing exactly what went
+into producing it: dataset, generation scale, model architecture, the full
+:class:`~repro.algorithm.config.GCoDConfig`, the kernel backend, the seed,
+the evaluation profile, and :data:`CODE_SCHEMA_VERSION`.
+
+The payload is built only from JSON primitives with sorted keys, so the
+digest is stable across processes and machines (Python's randomized
+``hash()`` is never involved). Bump :data:`CODE_SCHEMA_VERSION` whenever a
+code change alters what any cached artifact *means* (pipeline numerics, the
+``GCoDResult`` layout, experiment row formats): every existing cache entry
+is then automatically invalidated because no new key can match it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Version of the cached-artifact schema. Part of every cache key: bumping
+#: it orphans (and therefore invalidates) all previously stored artifacts.
+CODE_SCHEMA_VERSION = 1
+
+#: Artifact kinds the store recognises (one subdirectory per kind).
+KIND_GRAPH = "graph"
+KIND_GCOD = "gcod"
+KIND_TRACE = "trace"
+KIND_EXPERIMENT = "experiment"
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-stable primitives.
+
+    Handles dataclasses, dicts (keys coerced to ``str``), sequences, and
+    numpy scalars; anything else must already be a JSON primitive.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if hasattr(obj, "item") and not isinstance(obj, (str, bytes)):
+        # numpy scalar: unwrap to the native Python number. Real arrays
+        # (ndim > 0) are rejected below — silently unwrapping a size-1
+        # array would make array([x]) and x hash identically.
+        if getattr(obj, "ndim", 0) == 0:
+            return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot build a stable cache key from {type(obj).__name__}")
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical (sorted-keys, no-whitespace) JSON form of ``payload``."""
+    return json.dumps(jsonable(payload), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactKey:
+    """A content address: artifact kind + digest (+ the payload behind it)."""
+
+    kind: str
+    digest: str
+    payload: Dict[str, Any] = dataclasses.field(compare=False, hash=False)
+
+    @property
+    def short(self) -> str:
+        return f"{self.kind}/{self.digest[:12]}"
+
+
+def _resolve_backend_name(kernel_backend: Optional[str]) -> str:
+    """Resolve ``None`` to the process-wide default backend's name.
+
+    Two runs that differ only in *how they spelled* the default backend
+    (``None`` vs ``"vectorized"``) produce identical numbers and must share
+    cache entries.
+    """
+    from repro.sparse.kernels import get_backend
+
+    return get_backend(kernel_backend).name
+
+
+def make_key(kind: str, **components: Any) -> ArtifactKey:
+    """Build an :class:`ArtifactKey` for ``kind`` from ``components``."""
+    payload = dict(components)
+    payload["kind"] = kind
+    payload["schema"] = CODE_SCHEMA_VERSION
+    payload = jsonable(payload)
+    return ArtifactKey(kind=kind, digest=stable_hash(payload), payload=payload)
+
+
+def graph_key(
+    dataset: str, scale: Optional[float], seed: int
+) -> ArtifactKey:
+    """Key for a generated :class:`~repro.graphs.graph.Graph`."""
+    return make_key(KIND_GRAPH, dataset=dataset, scale=scale, seed=seed)
+
+
+def gcod_key(
+    dataset: str,
+    scale: Optional[float],
+    arch: str,
+    config: Any,
+    kernel_backend: Optional[str],
+    seed: int,
+    profile: str,
+) -> ArtifactKey:
+    """Key for a :class:`~repro.algorithm.pipeline.GCoDResult`."""
+    backend = _resolve_backend_name(kernel_backend)
+    config_payload = jsonable(config)
+    if isinstance(config_payload, dict) and "kernel_backend" in config_payload:
+        # Normalize the config's backend spelling too: a config saying
+        # ``None`` (process default) and one naming the default explicitly
+        # produce identical numbers, so they must share a digest.
+        config_payload["kernel_backend"] = _resolve_backend_name(
+            config_payload["kernel_backend"]
+        )
+    return make_key(
+        KIND_GCOD,
+        dataset=dataset,
+        scale=scale,
+        arch=arch,
+        config=config_payload,
+        kernel_backend=backend,
+        seed=seed,
+        profile=profile,
+    )
+
+
+def trace_key(gcod: ArtifactKey) -> ArtifactKey:
+    """Key for the measured first-layer execution trace of a GCoD run."""
+    return make_key(KIND_TRACE, gcod_digest=gcod.digest)
+
+
+def experiment_key(
+    name: str,
+    profile: str,
+    seed: int,
+    kernel_backend: Optional[str],
+    dataset_scales: Dict[str, float],
+) -> ArtifactKey:
+    """Key for a rendered :class:`~repro.evaluation.context.ExperimentResult`."""
+    return make_key(
+        KIND_EXPERIMENT,
+        name=name,
+        profile=profile,
+        seed=seed,
+        kernel_backend=_resolve_backend_name(kernel_backend),
+        dataset_scales=dict(sorted(dataset_scales.items())),
+    )
+
+
+__all__: Tuple[str, ...] = (
+    "CODE_SCHEMA_VERSION",
+    "KIND_EXPERIMENT",
+    "KIND_GCOD",
+    "KIND_GRAPH",
+    "KIND_TRACE",
+    "ArtifactKey",
+    "canonical_json",
+    "experiment_key",
+    "gcod_key",
+    "graph_key",
+    "jsonable",
+    "make_key",
+    "stable_hash",
+    "trace_key",
+)

@@ -1,0 +1,141 @@
+"""The experiment registry: descriptors instead of hard-coded module lists.
+
+Each module under ``repro.evaluation.experiments`` registers one
+:class:`ExperimentSpec` describing itself: its CLI name, its report section
+title, the callable that produces its :class:`ExperimentResult`, and —
+crucially for the parallel runner — the ``(dataset, arch)`` GCoD training
+runs it depends on. ``repro.evaluation.report`` and ``repro.cli`` *discover*
+experiments here rather than importing a hand-maintained list, so adding an
+experiment is one module plus one ``register_experiment(...)`` call.
+
+Registration happens at import time of the experiment modules; importing
+:mod:`repro.evaluation.experiments` populates the whole registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import UnknownExperimentError
+
+#: One GCoD training dependency: (dataset, arch).
+GCoDDep = Tuple[str, str]
+DepsFn = Callable[[object], Sequence[GCoDDep]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: identity, report placement, and deps."""
+
+    #: Short CLI name (``fig09``, ``tab06``, ``ablation-cs``, ...).
+    name: str
+    #: Report section title (``## <title>`` in the markdown report).
+    title: str
+    #: ``runner(context) -> ExperimentResult``.
+    runner: Callable
+    #: Declared GCoD dependencies as ``(dataset, arch)`` pairs, either a
+    #: static tuple or a callable of the context (for profile-dependent
+    #: dataset lists). Experiments that train privately tuned pipelines
+    #: (ablations, training-cost) declare no deps: their work is not
+    #: shareable, but their *rendered result* is still cached.
+    gcod_deps: object = ()
+    #: Report ordering (ascending).
+    order: int = 1000
+
+    def deps(self, context) -> Tuple[GCoDDep, ...]:
+        """The resolved, de-duplicated (dataset, arch) dependency tuple."""
+        deps = self.gcod_deps
+        if callable(deps):
+            deps = deps(context)
+        seen: Dict[GCoDDep, None] = {}
+        for dep in deps:
+            seen[(str(dep[0]), str(dep[1]))] = None
+        return tuple(seen)
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(
+    name: str,
+    title: str,
+    runner: Callable,
+    gcod_deps: object = (),
+    order: int = 1000,
+) -> ExperimentSpec:
+    """Create and register an :class:`ExperimentSpec`; returns it."""
+    # Load the builtin experiments first so an external registration that
+    # collides with a builtin name fails here, loudly, rather than when
+    # discovery later imports the builtin module. (No-op while the builtin
+    # package itself is importing: the flag is set before the import.)
+    _ensure_populated()
+    if name in _REGISTRY:
+        raise ValueError(
+            f"experiment {name!r} is already registered "
+            f"(by {_REGISTRY[name].runner.__module__}); names must be unique"
+        )
+    spec = ExperimentSpec(
+        name=name,
+        title=title,
+        runner=runner,
+        gcod_deps=gcod_deps,
+        order=order,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """All registered names in report order."""
+    return tuple(s.name for s in all_experiments())
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """Every registered spec, in report order."""
+    _ensure_populated()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.order, s.name))
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """The spec registered under ``name`` (raises UnknownExperimentError)."""
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def resolve_experiments(
+    names: Optional[Sequence[str]] = None,
+) -> List[ExperimentSpec]:
+    """Specs for ``names`` (report order), or all of them when ``None``."""
+    if names is None:
+        return all_experiments()
+    specs = [get_experiment(n) for n in names]
+    order = {s.name: i for i, s in enumerate(all_experiments())}
+    return sorted(specs, key=lambda s: order[s.name])
+
+
+_populated = False
+
+
+def _ensure_populated() -> None:
+    # Importing the experiments package registers every module's spec; the
+    # import is lazy so `repro.runtime` stays importable from low-level code
+    # (e.g. the pipeline's run counter) without dragging in the evaluation
+    # stack. A dedicated flag (not `_REGISTRY` truthiness) so external
+    # registrations before first discovery can't suppress the builtins.
+    global _populated
+    if not _populated:
+        _populated = True  # before the import: modules register re-entrantly
+        try:
+            import repro.evaluation.experiments  # noqa: F401
+        except BaseException:
+            # A broken experiment module must fail loudly on *every*
+            # discovery attempt, not once and then an empty registry.
+            _populated = False
+            raise

@@ -1,0 +1,261 @@
+"""Plan/execute experiment runner with process-pool GCoD warming.
+
+The runner splits a report into two phases:
+
+1. **Plan** — resolve the requested experiment specs, check which already
+   have a rendered result in the artifact store, and collect the *union* of
+   the remaining experiments' declared ``(dataset, arch)`` GCoD
+   dependencies. The union is de-duplicated (Fig. 9, Fig. 11, Tab. VI and
+   friends all want ``(cora, gcn)``; it is trained once) and filtered
+   against the store, leaving only the runs that truly must execute.
+2. **Execute** — run the unique GCoD tasks, either inline or across a
+   process pool (``jobs > 1``), each worker writing its result straight
+   into the shared on-disk store; then render every experiment in report
+   order in the parent, where each ``context.gcod(...)`` call now hits the
+   warmed store. Rendered results are themselves persisted, so the next
+   invocation skips straight to phase 2's final step.
+
+Determinism: every task carries its full config (seed included) and a
+*resolved* kernel-backend name, and workers run exactly the same
+``run_gcod`` the serial path runs — so ``--jobs 8`` produces byte-identical
+reports (markdown/JSON/CSV) to ``--jobs 1``, just faster. The stored
+artifacts are semantically identical too (every field compares equal);
+only their pickle framing may differ, because workers train on a
+store-round-tripped graph object while the serial path trains on the
+freshly generated one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.keys import ArtifactKey, gcod_key, graph_key
+from repro.runtime.registry import (
+    ExperimentSpec,
+    resolve_experiments,
+)
+from repro.runtime.store import ArtifactStore
+from repro.runtime import counters
+
+
+@dataclass(frozen=True)
+class GCoDTask:
+    """One self-contained GCoD training run (picklable, deterministic)."""
+
+    dataset: str
+    arch: str
+    scale: Optional[float]
+    seed: int
+    profile: str
+    #: resolved backend *name* (never None), so worker processes — whose
+    #: process-wide default backend is freshly initialised — run the same
+    #: kernels the parent would.
+    kernel_backend: str
+    config: object  # GCoDConfig; typed loosely to keep imports light
+
+    def key(self) -> ArtifactKey:
+        return gcod_key(
+            self.dataset,
+            self.scale,
+            self.arch,
+            self.config,
+            self.kernel_backend,
+            self.seed,
+            self.profile,
+        )
+
+
+@dataclass
+class ExperimentPlan:
+    """What a report invocation is about to do."""
+
+    specs: List[ExperimentSpec]
+    #: experiment name -> store key, for every requested experiment.
+    experiment_keys: Dict[str, ArtifactKey]
+    #: names whose rendered result is already stored.
+    cached: List[str]
+    #: unique GCoD tasks that must actually execute.
+    tasks: List[GCoDTask]
+    #: unique (dataset, arch) dependency count before store filtering.
+    deps_total: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.specs)} experiments ({len(self.cached)} cached), "
+            f"{self.deps_total} unique GCoD deps "
+            f"({len(self.tasks)} to run)"
+        )
+
+
+@dataclass
+class RunReport:
+    """Everything ``execute_plan`` did, with timings for benchmarking."""
+
+    results: "OrderedDict[str, object]" = field(default_factory=OrderedDict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    cache_hits: List[str] = field(default_factory=list)
+    deps_total: int = 0
+    tasks_executed: int = 0
+    gcod_runs: int = 0
+    wall_s: float = 0.0
+
+
+def build_task(context, dataset: str, arch: str) -> GCoDTask:
+    """The task ``context.gcod(dataset, arch)`` would execute, as data."""
+    from repro.sparse.kernels import get_backend
+
+    backend = get_backend(context.kernel_backend).name
+    config = replace(context.gcod_config_for(arch), kernel_backend=backend)
+    return GCoDTask(
+        dataset=dataset,
+        arch=arch,
+        scale=context.scale_for(dataset),
+        seed=context.seed,
+        profile=context.profile,
+        kernel_backend=backend,
+        config=config,
+    )
+
+
+def plan_experiments(
+    context,
+    names: Optional[Sequence[str]] = None,
+    extra_deps: Sequence[Tuple[str, str]] = (),
+) -> ExperimentPlan:
+    """Phase 1: resolve specs, find cached results, dedupe GCoD deps."""
+    specs = resolve_experiments(names)
+    store: Optional[ArtifactStore] = context.store
+    experiment_keys = {
+        spec.name: context.experiment_store_key(spec.name) for spec in specs
+    }
+    cached = [
+        spec.name
+        for spec in specs
+        if store is not None and store.contains(experiment_keys[spec.name])
+    ]
+
+    deps: "OrderedDict[Tuple[str, str], None]" = OrderedDict()
+    for dataset, arch in extra_deps:
+        deps[(dataset, arch)] = None
+    for spec in specs:
+        if spec.name in cached:
+            continue  # its result is already rendered; no training needed
+        for dep in spec.deps(context):
+            deps[dep] = None
+
+    tasks = [
+        build_task(context, dataset, arch)
+        for dataset, arch in sorted(deps)
+        if not context.has_gcod(dataset, arch)  # not in memory or on disk
+    ]
+    return ExperimentPlan(
+        specs=specs,
+        experiment_keys=experiment_keys,
+        cached=cached,
+        tasks=tasks,
+        deps_total=len(deps),
+    )
+
+
+def _execute_task(payload: Tuple[str, GCoDTask]) -> Tuple[str, str]:
+    """Pool worker: run one GCoD task and persist it into the store."""
+    root, task = payload
+    from repro.algorithm import run_gcod
+    from repro.graphs import load_dataset
+    from repro.sparse.kernels import set_default_backend
+
+    set_default_backend(task.kernel_backend)
+    store = ArtifactStore(root)
+    gkey = graph_key(task.dataset, task.scale, task.seed)
+    graph = store.get(gkey)
+    if graph is None:
+        graph = load_dataset(task.dataset, scale=task.scale, seed=task.seed)
+        store.put(gkey, graph)
+    result = run_gcod(graph, task.arch, task.config)
+    key = task.key()
+    store.put(key, result, summary=result.to_summary_dict())
+    return (task.dataset, task.arch)
+
+
+def execute_plan(
+    plan: ExperimentPlan,
+    context,
+    jobs: int = 1,
+    progress=None,
+) -> RunReport:
+    """Phase 2: warm the store (possibly in parallel), render, persist."""
+    t0 = time.perf_counter()
+    runs_before = counters.gcod_run_count()
+    report = RunReport(deps_total=plan.deps_total,
+                       tasks_executed=len(plan.tasks))
+    store: Optional[ArtifactStore] = context.store
+    say = progress or (lambda msg: None)
+
+    if plan.tasks:
+        if jobs > 1 and store is None:
+            # Workers hand results back through the shared store; without
+            # one there is nothing to pool over.
+            say("no artifact store attached: ignoring jobs="
+                f"{jobs}, training serially")
+            jobs = 1
+        say(f"warming {len(plan.tasks)} GCoD run(s) with jobs={jobs}")
+    if plan.tasks and jobs > 1 and store is not None and len(plan.tasks) > 1:
+        # Pre-warm each unique graph from the parent (rendering needs them
+        # anyway): otherwise every worker sharing a dataset would race the
+        # store miss and regenerate the same graph.
+        for dataset in dict.fromkeys(t.dataset for t in plan.tasks):
+            context.graph(dataset)
+        # fork is cheap (no re-import) but only safe on Linux; macOS system
+        # frameworks and BLAS are fork-unsafe (why CPython's macOS default
+        # moved to spawn).
+        use_fork = (sys.platform.startswith("linux")
+                    and "fork" in mp.get_all_start_methods())
+        ctx_mp = mp.get_context("fork" if use_fork else "spawn")
+        payloads = [(store.root, task) for task in plan.tasks]
+        with ctx_mp.Pool(processes=min(jobs, len(plan.tasks))) as pool:
+            for dataset, arch in pool.imap_unordered(_execute_task, payloads):
+                say(f"  trained ({dataset}, {arch})")
+        # The results live in the store now; nothing to pull into memory —
+        # rendering below loads exactly what it needs.
+    else:
+        for task in plan.tasks:
+            context.gcod(task.dataset, task.arch)
+            say(f"  trained ({task.dataset}, {task.arch})")
+
+    for spec in plan.specs:
+        key = plan.experiment_keys[spec.name]
+        t_exp = time.perf_counter()
+        result = store.get(key) if store is not None else None
+        if result is not None:
+            report.cache_hits.append(spec.name)
+        else:
+            result = spec.runner(context)
+            if store is not None:
+                store.put(key, result, summary={"name": result.name})
+        report.results[spec.name] = result
+        report.timings[spec.name] = time.perf_counter() - t_exp
+        say(f"  {spec.name}: {report.timings[spec.name]:.2f}s"
+            + (" (cached)" if spec.name in report.cache_hits else ""))
+
+    report.gcod_runs = counters.gcod_run_count() - runs_before
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_experiments(
+    context,
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    extra_deps: Sequence[Tuple[str, str]] = (),
+    progress=None,
+) -> RunReport:
+    """Plan then execute in one call; the ``repro report`` entry point."""
+    plan = plan_experiments(context, names=names, extra_deps=extra_deps)
+    if progress:
+        progress(plan.describe())
+    return execute_plan(plan, context, jobs=jobs, progress=progress)

@@ -1,0 +1,268 @@
+"""The on-disk, content-addressed artifact store.
+
+Layout: ``<root>/<kind>/<digest>.pkl`` holds the pickled artifact and
+``<root>/<kind>/<digest>.json`` a small metadata sidecar (the key payload,
+creation time, payload sizes, plus any artifact summary the producer
+attached). Everything is addressed by the stable keys built in
+:mod:`repro.runtime.keys`, so a second process — or a second machine with
+the same code — computes the same digests and reuses the same entries.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed process never
+  leaves a half-written entry under a valid name;
+* reads of corrupted entries (truncated pickle, stale class layout) are
+  treated as a cache miss — the entry is deleted and the caller
+  recomputes; reads and writes that fail for environmental reasons
+  (permissions, disk errors, memory pressure) also degrade to misses but
+  leave the bytes on disk alone — the store never makes a run fail;
+* the root directory is created lazily on first write, so read-only users
+  never touch the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.runtime.keys import ArtifactKey, CODE_SCHEMA_VERSION, canonical_json
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-gcod``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache"))
+    return os.path.join(xdg, "repro-gcod")
+
+
+@dataclass
+class StoreEntry:
+    """One artifact as listed by :meth:`ArtifactStore.entries`."""
+
+    kind: str
+    digest: str
+    size_bytes: int
+    created: float
+    meta: Dict[str, Any]
+
+
+class ArtifactStore:
+    """Content-addressed pickle store under one root directory."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_cache_dir())
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _dir(self, kind: str) -> str:
+        return os.path.join(self.root, kind)
+
+    def _data_path(self, key: ArtifactKey) -> str:
+        return os.path.join(self._dir(key.kind), key.digest + ".pkl")
+
+    def _meta_path(self, key: ArtifactKey) -> str:
+        return os.path.join(self._dir(key.kind), key.digest + ".json")
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def contains(self, key: ArtifactKey) -> bool:
+        """True if an entry for ``key`` exists on disk."""
+        return os.path.exists(self._data_path(key))
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """The stored artifact, or ``None`` on a miss *or* corrupted entry."""
+        path = self._data_path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, MemoryError):
+            # Transient failure (EIO, fd exhaustion, permissions, memory
+            # pressure): the bytes on disk may be fine — treat as a miss,
+            # keep the entry.
+            return None
+        except Exception:
+            # Truncated/garbled pickle or incompatible class layout: recover
+            # by dropping the entry so the caller recomputes it.
+            self.invalidate(key)
+            return None
+
+    def put(
+        self,
+        key: ArtifactKey,
+        artifact: Any,
+        summary: Optional[Dict[str, Any]] = None,
+    ) -> ArtifactKey:
+        """Atomically persist ``artifact`` under ``key``; returns ``key``.
+
+        Best-effort: an unwritable cache (permissions, disk full) must not
+        crash the run that just produced an expensive artifact — the store
+        degrades to not persisting, with a note on stderr.
+        """
+        try:
+            directory = self._dir(key.kind)
+            os.makedirs(directory, exist_ok=True)
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+            meta = {
+                "kind": key.kind,
+                "digest": key.digest,
+                "schema": CODE_SCHEMA_VERSION,
+                "created": time.time(),
+                "size_bytes": len(blob),
+                "key": key.payload,
+            }
+            if summary:
+                meta["summary"] = summary
+            self._atomic_write(self._data_path(key), blob)
+            self._atomic_write(
+                self._meta_path(key), canonical_json(meta).encode("utf-8")
+            )
+        except OSError as exc:
+            import sys
+
+            print(f"artifact store: could not persist {key.short} "
+                  f"({exc}); continuing without caching it",
+                  file=sys.stderr)
+        return key
+
+    @staticmethod
+    def _atomic_write(path: str, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # invalidation / introspection
+    # ------------------------------------------------------------------
+    def invalidate(self, key: ArtifactKey) -> bool:
+        """Remove the entry for ``key``; True if anything was deleted."""
+        removed = False
+        for path in (self._data_path(key), self._meta_path(key)):
+            try:
+                os.unlink(path)
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete every entry (of ``kind``, or all kinds); returns the count."""
+        removed = 0
+        for entry_kind in self._kinds():
+            if kind is not None and entry_kind != kind:
+                continue
+            directory = self._dir(entry_kind)
+            for fname in os.listdir(directory):
+                path = os.path.join(directory, fname)
+                if fname.startswith(".tmp-"):
+                    # Another process's in-flight atomic write — unless it
+                    # is old enough that the writer must have died, in
+                    # which case this is the only tool that reclaims it.
+                    try:
+                        fresh = time.time() - os.stat(path).st_mtime \
+                            < self._STALE_TMP_S
+                    except FileNotFoundError:
+                        continue
+                    if fresh:
+                        continue
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue  # removed concurrently: don't count it
+                if fname.endswith(".pkl"):
+                    removed += 1
+        return removed
+
+    #: age after which a .tmp-*.part file is considered an orphan of a
+    #: killed writer (atomic writes complete in seconds).
+    _STALE_TMP_S = 600.0
+
+    def _kinds(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            d for d in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, d))
+        )
+
+    def entries(self, kind: Optional[str] = None) -> Iterator[StoreEntry]:
+        """Iterate over stored entries (newest first within each kind)."""
+        import json
+
+        for entry_kind in self._kinds():
+            if kind is not None and entry_kind != kind:
+                continue
+            directory = self._dir(entry_kind)
+            found = []
+            for fname in os.listdir(directory):
+                if not fname.endswith(".pkl"):
+                    continue
+                digest = fname[: -len(".pkl")]
+                data_path = os.path.join(directory, fname)
+                meta_path = os.path.join(directory, digest + ".json")
+                meta: Dict[str, Any] = {}
+                try:
+                    with open(meta_path) as fh:
+                        meta = json.load(fh)
+                except Exception:
+                    pass
+                try:
+                    stat = os.stat(data_path)
+                except FileNotFoundError:
+                    continue  # deleted concurrently (clear/invalidate race)
+                found.append(
+                    StoreEntry(
+                        kind=entry_kind,
+                        digest=digest,
+                        size_bytes=stat.st_size,
+                        created=meta.get("created", stat.st_mtime),
+                        meta=meta,
+                    )
+                )
+            yield from sorted(found, key=lambda e: e.created, reverse=True)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind ``{"entries": n, "bytes": total}`` plus a ``total`` row."""
+        out: Dict[str, Dict[str, float]] = {}
+        total_n, total_b = 0, 0
+        for entry in self.entries():
+            bucket = out.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+            total_n += 1
+            total_b += entry.size_bytes
+        out["total"] = {"entries": total_n, "bytes": total_b}
+        return out
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    """A process-wide store rooted at :func:`default_cache_dir`."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None or _DEFAULT_STORE.root != os.path.abspath(
+        default_cache_dir()
+    ):
+        _DEFAULT_STORE = ArtifactStore()
+    return _DEFAULT_STORE

@@ -37,12 +37,13 @@ def test_cli_requires_command():
         main([])
 
 
-def test_shape_checks_structure():
+def test_report_sections_come_from_registry():
     # shape_checks needs trained graphs for five datasets: too slow here.
-    # Instead verify the report plumbing with a stubbed context API surface.
-    from repro.evaluation.report import _SECTIONS
+    # Instead verify the report discovers its sections from the registry.
+    from repro.runtime.registry import all_experiments
 
-    assert len(_SECTIONS) == 14
-    titles = [t for t, _ in _SECTIONS]
+    specs = all_experiments()
+    assert len(specs) == 14
+    titles = [s.title for s in specs]
     assert any("Tab. VI" in t for t in titles)
     assert any("Fig. 11" in t for t in titles)

@@ -1,0 +1,131 @@
+"""CLI surface of the runtime layer: cache verbs, formats, error exits."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation.context import ExperimentResult
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def test_report_unknown_experiment_exits_nonzero(capsys, cache_dir):
+    code = main(["--cache-dir", cache_dir, "report",
+                 "--experiments", "tab04,fig99", "--quiet"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "fig09" in err  # tells the user the valid names
+
+
+def test_train_unknown_dataset_exits_nonzero(capsys, cache_dir):
+    code = main(["--cache-dir", cache_dir, "train", "smallville"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown dataset 'smallville'" in err
+    assert "cora" in err
+
+
+def test_simulate_unknown_dataset_exits_nonzero(capsys, cache_dir):
+    assert main(["--cache-dir", cache_dir, "simulate", "nope"]) == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_experiment_unknown_name_exits_nonzero(capsys, cache_dir):
+    assert main(["--cache-dir", cache_dir, "experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_report_json_requires_out_dir(capsys, cache_dir):
+    code = main(["--cache-dir", cache_dir, "report", "--format", "json",
+                 "--experiments", "tab04", "--quiet"])
+    assert code == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_report_json_writes_per_experiment_files(tmp_path, capsys, cache_dir):
+    out = str(tmp_path / "out")
+    code = main(["--cache-dir", cache_dir, "report",
+                 "--experiments", "tab04,tab05", "--format", "json",
+                 "--out", out, "--quiet"])
+    assert code == 0
+    index = json.load(open(os.path.join(out, "report.json")))
+    assert index["experiments"] == ["tab04", "tab05"]
+    assert index["schema"] >= 1
+    assert index["gcod_runs_in_parent"] == 0  # static tables train nothing
+    assert index["gcod_tasks_executed"] == 0
+    assert set(index["timings_s"]) == {"tab04", "tab05"}
+    restored = ExperimentResult.from_json(
+        open(os.path.join(out, "tab04.json")).read()
+    )
+    assert "GCN" in str(restored.rows)
+    assert restored.headers[0] == "model"
+
+
+def test_report_csv_writes_per_experiment_files(tmp_path, capsys, cache_dir):
+    out = str(tmp_path / "out")
+    assert main(["--cache-dir", cache_dir, "report", "--experiments", "tab04",
+                 "--format", "csv", "--out", out, "--quiet"]) == 0
+    csv_text = open(os.path.join(out, "tab04.csv")).read()
+    assert csv_text.splitlines()[0].startswith("model,layers")
+    assert "ResGCN" in csv_text
+
+
+def test_cache_verbs_roundtrip(capsys, cache_dir, tmp_path):
+    # run something cacheable so the store has content
+    out = str(tmp_path / "out")
+    main(["--cache-dir", cache_dir, "report", "--experiments", "tab04",
+          "--format", "json", "--out", out, "--quiet"])
+    assert main(["--cache-dir", cache_dir, "cache", "stats"]) == 0
+    stats_out = capsys.readouterr().out
+    assert "experiment" in stats_out and "total" in stats_out
+
+    assert main(["--cache-dir", cache_dir, "cache", "ls"]) == 0
+    ls_out = capsys.readouterr().out
+    assert "experiment" in ls_out
+
+    assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+    assert "removed" in capsys.readouterr().out
+    main(["--cache-dir", cache_dir, "cache", "ls"])
+    assert "(empty store" in capsys.readouterr().out
+
+
+def test_cache_clear_kind_filter(capsys, cache_dir, tmp_path):
+    out = str(tmp_path / "out")
+    main(["--cache-dir", cache_dir, "report", "--experiments", "tab04",
+          "--format", "json", "--out", out, "--quiet"])
+    assert main(["--cache-dir", cache_dir, "cache", "clear",
+                 "--kind", "gcod"]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out  # none of that kind
+
+
+def test_cache_verbs_refuse_no_cache(capsys, cache_dir):
+    # --no-cache must never touch the (default) on-disk store
+    assert main(["--no-cache", "cache", "clear"]) == 2
+    assert "drop --no-cache" in capsys.readouterr().err
+
+
+def test_no_cache_flag_disables_store(capsys, cache_dir):
+    assert main(["--cache-dir", cache_dir, "--no-cache", "experiment",
+                 "tab04"]) == 0
+    capsys.readouterr()
+    assert not os.path.exists(cache_dir)
+
+
+def test_experiment_result_serialization_roundtrip():
+    res = ExperimentResult(
+        "T", ("a", "b"), [(1, "x"), (2.5, "y,z")], extra_text="note"
+    )
+    clone = ExperimentResult.from_json(res.to_json())
+    assert clone.name == res.name
+    assert clone.as_dict() == res.as_dict()
+    assert clone.extra_text == "note"
+    assert clone.to_json() == res.to_json()
+    csv_text = res.to_csv()
+    assert csv_text.splitlines()[0] == "a,b"
+    assert '"y,z"' in csv_text  # commas survive quoting

@@ -186,7 +186,7 @@ def test_eval_context_measured_trace_cached(gcod_result):
     # Inject the session's shared pipeline run so the context method can be
     # exercised without retraining.
     ctx = EvalContext(profile="fast")
-    ctx._gcod[("small", "gcn")] = gcod_result
+    ctx._gcod[ctx._gcod_memo_key("small", "gcn")] = gcod_result
     trace = ctx.measured_trace("small")
     assert trace is ctx.measured_trace("small")
     assert 0.0 <= trace.forward_rate <= 1.0

@@ -1,0 +1,75 @@
+"""Experiment registry: discovery, ordering, dependency declarations."""
+
+import pytest
+
+from repro.errors import UnknownExperimentError
+from repro.runtime.registry import (
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    resolve_experiments,
+)
+
+EXPECTED = {
+    "fig04", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04", "tab05",
+    "tab06", "tab07", "ablation-cs", "ablation-design", "training-cost",
+    "reordering",
+}
+
+
+def test_every_experiment_module_registers():
+    assert set(experiment_names()) == EXPECTED
+
+
+def test_report_order_is_stable():
+    names = experiment_names()
+    assert names[0] == "tab03"  # tables first, paper order
+    assert names.index("fig09") < names.index("fig10")
+    assert names[-1] == "reordering"
+
+
+def test_get_unknown_raises_clear_error():
+    with pytest.raises(UnknownExperimentError) as exc:
+        get_experiment("fig99")
+    assert "unknown experiment" in str(exc.value)
+    assert "fig09" in str(exc.value)  # suggests valid choices
+    # registry lookups still behave like mapping access
+    assert isinstance(exc.value, KeyError)
+
+
+def test_resolve_subset_keeps_report_order():
+    specs = resolve_experiments(["reordering", "tab03", "fig09"])
+    assert [s.name for s in specs] == ["tab03", "fig09", "reordering"]
+
+
+def test_deps_are_deduplicated_pairs():
+    fig09 = get_experiment("fig09")
+    deps = fig09.deps(None)
+    assert len(deps) == len(set(deps))
+    assert ("cora", "gcn") in deps
+    assert all(len(d) == 2 for d in deps)
+
+
+def test_static_tables_declare_no_gcod_deps():
+    # static tables + experiments that only train privately tuned configs
+    for name in ("tab03", "tab04", "tab05", "training-cost", "ablation-cs"):
+        assert get_experiment(name).deps(None) == ()
+    # ablation-design's full-GCoD baselines ARE shared context runs
+    assert get_experiment("ablation-design").deps(None) == (
+        ("cora", "gcn"), ("reddit", "gcn"))
+
+
+def test_duplicate_registration_raises(monkeypatch):
+    import repro.runtime.registry as reg
+
+    # work on a copy so the real registry stays pristine for other tests
+    monkeypatch.setattr(reg, "_REGISTRY", dict(reg._REGISTRY))
+    with pytest.raises(ValueError, match="already registered"):
+        reg.register_experiment(name="fig04", title="dup",
+                                runner=lambda ctx: None)
+
+
+def test_runner_callables_are_module_run_functions():
+    from repro.evaluation.experiments import fig04_visualization
+
+    assert get_experiment("fig04").runner is fig04_visualization.run

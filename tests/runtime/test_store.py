@@ -1,0 +1,182 @@
+"""Artifact store: keys, persistence, invalidation, corruption recovery."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.algorithm import GCoDConfig
+from repro.runtime import keys as rkeys
+from repro.runtime.store import ArtifactStore, default_cache_dir
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _gcod_key(**overrides):
+    params = dict(
+        dataset="cora",
+        scale=0.1,
+        arch="gcn",
+        config=GCoDConfig(pretrain_epochs=5, retrain_epochs=3),
+        kernel_backend=None,
+        seed=0,
+        profile="fast",
+    )
+    params.update(overrides)
+    return rkeys.gcod_key(**params)
+
+
+# ----------------------------------------------------------------------
+# key stability
+# ----------------------------------------------------------------------
+def test_same_inputs_same_digest():
+    assert _gcod_key().digest == _gcod_key().digest
+
+
+def test_config_change_changes_digest():
+    base = _gcod_key()
+    assert base.digest != _gcod_key(seed=1).digest
+    assert base.digest != _gcod_key(scale=0.2).digest
+    assert base.digest != _gcod_key(arch="gin").digest
+    assert base.digest != _gcod_key(profile="full").digest
+    assert base.digest != _gcod_key(
+        config=GCoDConfig(pretrain_epochs=6, retrain_epochs=3)
+    ).digest
+
+
+def test_default_backend_spellings_share_digest():
+    # None (process default) and the default's explicit name are the same run.
+    assert _gcod_key().digest == _gcod_key(kernel_backend="vectorized").digest
+    assert _gcod_key().digest != _gcod_key(kernel_backend="reference").digest
+    # ... including inside the config itself.
+    cfg = GCoDConfig(pretrain_epochs=5, retrain_epochs=3,
+                     kernel_backend="vectorized")
+    assert _gcod_key().digest == _gcod_key(config=cfg).digest
+
+
+def test_schema_version_invalidates(monkeypatch):
+    base = _gcod_key()
+    monkeypatch.setattr(rkeys, "CODE_SCHEMA_VERSION",
+                        rkeys.CODE_SCHEMA_VERSION + 1)
+    assert _gcod_key().digest != base.digest
+
+
+def test_hash_stable_across_processes():
+    script = (
+        "from repro.runtime import keys as rkeys\n"
+        "from repro.algorithm import GCoDConfig\n"
+        "key = rkeys.gcod_key('cora', 0.1, 'gcn',\n"
+        "    GCoDConfig(pretrain_epochs=5, retrain_epochs=3),\n"
+        "    None, 0, 'fast')\n"
+        "print(key.digest)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env,
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == _gcod_key().digest
+
+
+def test_jsonable_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        rkeys.stable_hash({"x": object()})
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def test_roundtrip_and_contains(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    key = _gcod_key()
+    payload = {"arr": np.arange(10.0), "nested": [1, "two", 3.0]}
+    assert store.get(key) is None
+    assert not store.contains(key)
+    store.put(key, payload, summary={"note": "hello"})
+    assert store.contains(key)
+    loaded = store.get(key)
+    np.testing.assert_array_equal(loaded["arr"], payload["arr"])
+    assert loaded["nested"] == payload["nested"]
+
+
+def test_invalidate_and_clear(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    k1, k2 = _gcod_key(), _gcod_key(seed=1)
+    store.put(k1, "a")
+    store.put(k2, "b")
+    graph_key = rkeys.graph_key("cora", 0.1, 0)
+    store.put(graph_key, "g")
+    assert store.invalidate(k1)
+    assert not store.invalidate(k1)  # already gone
+    assert store.get(k1) is None and store.get(k2) == "b"
+    assert store.clear(kind="gcod") == 1  # k2 only
+    assert store.get(graph_key) == "g"
+    # another process's in-flight atomic write must survive a clear ...
+    tmp_part = os.path.join(store._dir("graph"), ".tmp-123.part")
+    with open(tmp_part, "wb") as fh:
+        fh.write(b"half-written")
+    assert store.clear() == 1  # the graph
+    assert os.path.exists(tmp_part)
+    # ... but an orphan of a long-dead writer is reclaimed
+    import time
+    old = time.time() - 2 * store._STALE_TMP_S
+    os.utime(tmp_part, (old, old))
+    store.clear()
+    assert not os.path.exists(tmp_part)
+    assert store.stats()["total"]["entries"] == 0
+
+
+def test_corrupted_entry_recovers(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    key = _gcod_key()
+    store.put(key, {"fine": True})
+    with open(store._data_path(key), "wb") as fh:
+        fh.write(b"\x80\x05 this is not a pickle")
+    assert store.get(key) is None  # corrupted -> miss
+    assert not store.contains(key)  # ... and the entry was dropped
+    store.put(key, {"fine": "again"})
+    assert store.get(key) == {"fine": "again"}
+
+
+def test_stats_and_entries(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.put(_gcod_key(), "x", summary={"dataset": "cora"})
+    store.put(rkeys.graph_key("cora", 0.1, 0), "y")
+    stats = store.stats()
+    assert stats["gcod"]["entries"] == 1
+    assert stats["graph"]["entries"] == 1
+    assert stats["total"]["entries"] == 2
+    entries = list(store.entries())
+    assert {e.kind for e in entries} == {"gcod", "graph"}
+    gcod_entry = next(e for e in entries if e.kind == "gcod")
+    assert gcod_entry.meta["summary"] == {"dataset": "cora"}
+    assert gcod_entry.meta["key"]["dataset"] == "cora"
+
+
+def test_empty_store_reads_do_not_touch_disk(tmp_path):
+    root = tmp_path / "never-created"
+    store = ArtifactStore(str(root))
+    assert store.get(_gcod_key()) is None
+    assert list(store.entries()) == []
+    assert store.clear() == 0
+    assert not root.exists()
+
+
+def test_put_on_unwritable_root_degrades(tmp_path, capsys):
+    # a plain file where the cache root should be: makedirs fails for any
+    # uid (chmod-based setups are bypassed when tests run as root)
+    root = tmp_path / "blocked"
+    root.write_text("not a directory")
+    store = ArtifactStore(str(root))
+    key = _gcod_key()
+    store.put(key, {"expensive": True})  # must not raise
+    assert "could not persist" in capsys.readouterr().err
+    assert store.get(key) is None
+
+
+def test_default_cache_dir_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == str(tmp_path / "custom")
