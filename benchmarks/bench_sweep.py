@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Benchmark cold vs warm ``repro sweep`` and write ``BENCH_sweep.json``.
+
+Runs a 24-point grid (four unique training configs; the platform axes
+fan out analytically) twice against a throwaway artifact store:
+
+* **cold** — empty store; the de-duplicated training runs execute
+  (optionally across a process pool via ``--jobs``), every design point's
+  metrics persist;
+* **warm** — a fresh context against the populated store; zero training
+  runs, zero point evaluations, everything loads from disk.
+
+The JSON written to ``--out`` records both wall times, the speedup ratio,
+and the run counters, so CI can chart the trajectory PR over PR. With
+``--min-speedup`` the script exits non-zero if the warm pass isn't at
+least that many times faster. It also hard-fails if the warm pass trained
+anything, evaluated any point, or emitted different bytes than the cold
+serial pass — the sweep acceptance gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4 --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.evaluation import EvalContext
+from repro.runtime import CODE_SCHEMA_VERSION, counters
+from repro.runtime.store import ArtifactStore
+from repro.sweep import SweepSpec, run_sweep, sweep_report_text
+
+#: 2 x 2 x 2 x 3 = 24 points, 4 unique training runs — the same shape as
+#: the acceptance grid in tests/sweep/test_engine.py, at CI-fast scale.
+BENCH_SPEC = SweepSpec(
+    name="bench",
+    title="benchmark grid",
+    axes={
+        "C": (1, 2),
+        "S": (2, 3),
+        "bits": (32, 8),
+        "hw_scale": (0.5, 1.0, 2.0),
+    },
+)
+
+#: Reduced scale for CI; part of every cache key, so both passes share it.
+BENCH_SCALES = {"cora": 0.1}
+
+
+def run_pass(store_root: str, jobs: int):
+    ctx = EvalContext(profile="fast", store=ArtifactStore(store_root))
+    ctx.dataset_scales = dict(BENCH_SCALES)
+    counters.reset_counters()
+    start = time.perf_counter()
+    report = run_sweep(ctx, BENCH_SPEC, jobs=jobs)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 4),
+        "gcod_runs_in_parent": counters.gcod_run_count(),
+        "points": len(report.results),
+        "points_evaluated": report.points_evaluated,
+        "cache_hits": len(report.cache_hits),
+        "unique_gcod_deps": report.deps_total,
+        "gcod_tasks_executed": report.tasks_executed,
+    }, sweep_report_text(BENCH_SPEC, report.results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--jobs", "-j", type=int, default=2,
+                        help="pool width for the cold pass")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if warm is not at least this "
+                             "many times faster than cold")
+    args = parser.parse_args(argv)
+
+    store_root = tempfile.mkdtemp(prefix="bench-sweep-store-")
+    try:
+        cold, cold_text = run_pass(store_root, args.jobs)
+        warm, warm_text = run_pass(store_root, jobs=1)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    payload = {
+        "benchmark": "cold vs warm `repro sweep`",
+        "schema": CODE_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "grid": {name: list(values) for name, values in BENCH_SPEC.axes},
+        "jobs_cold": args.jobs,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(speedup, 2),
+        "bytes_identical": warm_text == cold_text,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(f"cold: {cold['wall_s']:.2f}s "
+          f"({cold['gcod_tasks_executed']} training runs, "
+          f"{cold['points_evaluated']} points)  "
+          f"warm: {warm['wall_s']:.2f}s "
+          f"({warm['points_evaluated']} points evaluated)  "
+          f"speedup: {speedup:.1f}x  -> {args.out}")
+
+    if warm["gcod_runs_in_parent"] != 0 or warm["points_evaluated"] != 0:
+        print("FAIL: warm pass did real work", file=sys.stderr)
+        return 1
+    if not payload["bytes_identical"]:
+        print("FAIL: warm output differs from cold output", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: warm speedup {speedup:.1f}x < "
+              f"required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,13 @@ Commands
     combined report. ``--jobs N`` trains the de-duplicated GCoD
     dependencies across a process pool; ``--format json --out DIR`` writes
     machine-readable per-experiment files instead of markdown.
+``sweep``
+    Run a design-space sweep: a registered grid (``repro sweep
+    ablation-cs``; bare ``repro sweep`` lists them) or an ad-hoc one
+    (``--grid "dataset=cora;C=1,2,3,4;S=8,12,16,20"``). Cached points are
+    skipped, unique training runs pool across ``--jobs N``, and the output
+    is a long-form table plus the speedup/accuracy Pareto frontier
+    (``--format json|csv --out DIR`` for machine-readable files).
 ``cache``
     Inspect the persistent artifact store: ``ls``, ``stats``, ``clear``.
 
@@ -35,7 +42,13 @@ import sys
 import time
 from typing import Optional
 
-from repro.errors import UnknownDatasetError, UnknownExperimentError
+from repro.errors import (
+    ConfigError,
+    KernelError,
+    UnknownDatasetError,
+    UnknownExperimentError,
+    UnknownSweepError,
+)
 from repro.evaluation import EvalContext
 from repro.runtime import CODE_SCHEMA_VERSION
 from repro.runtime.registry import (
@@ -176,6 +189,104 @@ def _cmd_report(args, ctx: EvalContext) -> int:
     return 0
 
 
+def _cmd_sweep(args, ctx: EvalContext) -> int:
+    from repro.sweep import (
+        SweepSpec,
+        all_sweeps,
+        get_sweep,
+        long_form_result,
+        pareto_result,
+        parse_grid,
+        run_sweep,
+        sweep_report_text,
+    )
+
+    if args.name is None and not args.grid:
+        print("registered sweeps (run one, or pass --grid):")
+        for spec in all_sweeps():
+            print(f"  {spec.name:<14} {spec.num_points:>4} points  "
+                  f"{spec.title}")
+        return 0
+    if args.name is not None and args.grid:
+        print("pass a registered sweep name OR --grid, not both",
+              file=sys.stderr)
+        return 2
+    if args.name is not None:
+        spec = get_sweep(args.name)  # UnknownSweepError -> exit 2 in main()
+    else:
+        spec = SweepSpec(name="custom", title="Custom grid",
+                         axes=parse_grid(args.grid))
+
+    # Validate the output plumbing *before* the sweep runs: a flag mixup
+    # must not cost a full grid of training runs.
+    if args.format == "markdown" and args.out:
+        print("--out is for --format json/csv; markdown wants "
+              "--output FILE", file=sys.stderr)
+        return 2
+    if args.format != "markdown":
+        if args.output:
+            print(f"--output is for markdown; --format {args.format} wants "
+                  "--out DIR", file=sys.stderr)
+            return 2
+        if not args.out:
+            print(f"--format {args.format} requires --out DIR",
+                  file=sys.stderr)
+            return 2
+
+    progress = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet \
+        else None
+    report = run_sweep(ctx, spec, jobs=args.jobs, progress=progress)
+    if progress:
+        progress(
+            f"{len(report.results)} points in {report.wall_s:.2f}s "
+            f"({len(report.cache_hits)} cached, "
+            f"{report.points_evaluated} evaluated, "
+            f"{report.tasks_executed} GCoD runs scheduled)"
+        )
+
+    if args.format == "markdown":
+        text = sweep_report_text(spec, report.results)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    table = long_form_result(spec, report.results)
+    pareto = pareto_result(spec, report.results)
+    written = []
+    if args.format == "json":
+        # One document holding the grid, the tidy table, and the frontier.
+        # Deliberately free of wall times and cache accounting: a warm
+        # rerun must emit byte-identical files (progress goes to stderr).
+        payload = {
+            "sweep": spec.name,
+            "title": spec.title,
+            "axes": {name: list(values) for name, values in spec.axes},
+            "profile": ctx.profile,
+            "seed": ctx.seed,
+            "schema": CODE_SCHEMA_VERSION,
+            "table": table.to_jsonable(),
+            "pareto": pareto.to_jsonable(),
+        }
+        path = os.path.join(args.out, f"{spec.name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        written.append(path)
+    else:
+        for suffix, result in (("", table), ("_pareto", pareto)):
+            path = os.path.join(args.out, f"{spec.name}{suffix}.csv")
+            with open(path, "w") as fh:
+                fh.write(result.to_csv())
+            written.append(path)
+    print(f"wrote {', '.join(written)}")
+    return 0
+
+
 def _human_bytes(n: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(n) < 1024 or unit == "GB":
@@ -279,6 +390,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress progress lines on stderr")
     p_rep.set_defaults(func=_cmd_report)
 
+    p_sw = sub.add_parser("sweep", help="run a design-space sweep")
+    p_sw.add_argument("name", nargs="?", default=None,
+                      help="registered sweep name (bare `repro sweep` "
+                           "lists them)")
+    p_sw.add_argument("--grid", default=None,
+                      help="ad-hoc grid, e.g. "
+                           "\"dataset=cora;C=1,2,3,4;S=8,12,16,20\"")
+    p_sw.add_argument("--jobs", "-j", type=int, default=1,
+                      help="process-pool width for GCoD training runs")
+    p_sw.add_argument("--format", choices=("markdown", "json", "csv"),
+                      default="markdown",
+                      help="output format (json/csv write files under "
+                           "--out)")
+    p_sw.add_argument("--out", default=None,
+                      help="output directory for --format json/csv")
+    p_sw.add_argument("--output", "-o", default=None,
+                      help="markdown output file (default: stdout)")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress progress lines on stderr")
+    p_sw.set_defaults(func=_cmd_sweep)
+
     p_cache = sub.add_parser("cache", help="inspect the artifact store")
     p_cache.add_argument("action", choices=("ls", "stats", "clear"))
     p_cache.add_argument("--kind", default=None,
@@ -302,7 +434,10 @@ def main(argv: Optional[list] = None) -> int:
                       store=store)
     try:
         return args.func(args, ctx)
-    except (UnknownDatasetError, UnknownExperimentError) as exc:
+    except (UnknownDatasetError, UnknownExperimentError, UnknownSweepError,
+            ConfigError, KernelError) as exc:
+        # Bad names and malformed --grid strings are usage errors: one
+        # clear line on stderr and exit code 2, not a traceback.
         print(str(exc), file=sys.stderr)
         return 2
 

@@ -39,5 +39,12 @@ class UnknownDatasetError(ReproError, KeyError):
         return ReproError.__str__(self)
 
 
+class UnknownSweepError(ReproError, KeyError):
+    """A sweep name not present in the sweep registry was requested."""
+
+    def __str__(self):
+        return ReproError.__str__(self)
+
+
 class CompileError(ReproError):
     """The hardware compiler could not map the model onto the accelerator."""

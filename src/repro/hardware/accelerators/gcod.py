@@ -37,6 +37,12 @@ from repro.hardware.pe import PEArray
 from repro.hardware.workload import GCNWorkload, LayerSpec
 
 
+#: Tab. V PE counts per precision: quantization cuts the bandwidth per
+#: MAC, affording 2.5x the PEs. The single source of truth — the sweep
+#: engine's ``hw_scale`` axis multiplies these same numbers.
+DEFAULT_PES = {32: 4096, 8: 10240}
+
+
 class GCoDAccelerator(Accelerator):
     """Analytic model of the GCoD accelerator (32-bit or 8-bit variant)."""
 
@@ -72,8 +78,7 @@ class GCoDAccelerator(Accelerator):
         self.two_pronged = two_pronged
         self.bits = bits
         self.bytes_per_value = 1 if bits == 8 else 4
-        default_pes = 10240 if bits == 8 else 4096
-        self.pes = PEArray(num_pes or default_pes, 330e6)
+        self.pes = PEArray(num_pes or DEFAULT_PES[bits], 330e6)
         self.memory = OffChipMemory("hbm", 460.0)
         onchip_total = 42 * 2**20
         # Fixed split of the 42 MB: output accumulators, feature/weight

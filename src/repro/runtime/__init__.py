@@ -21,6 +21,7 @@ from repro.runtime.keys import (
     gcod_key,
     graph_key,
     stable_hash,
+    sweep_point_key,
     trace_key,
 )
 from repro.runtime.store import ArtifactStore, default_cache_dir, default_store
@@ -51,5 +52,6 @@ __all__ = [
     "register_experiment",
     "resolve_experiments",
     "stable_hash",
+    "sweep_point_key",
     "trace_key",
 ]

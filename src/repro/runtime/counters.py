@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-_COUNTS: Dict[str, int] = {"gcod_runs": 0}
+_COUNTS: Dict[str, int] = {"gcod_runs": 0, "sweep_point_runs": 0}
 
 
 def record_gcod_run() -> None:
@@ -26,6 +26,16 @@ def record_gcod_run() -> None:
 def gcod_run_count() -> int:
     """Number of GCoD pipeline executions in this process so far."""
     return _COUNTS["gcod_runs"]
+
+
+def record_sweep_point_run() -> None:
+    """Note one real (non-cached) sweep design-point evaluation."""
+    _COUNTS["sweep_point_runs"] += 1
+
+
+def sweep_point_run_count() -> int:
+    """Number of sweep points actually evaluated in this process so far."""
+    return _COUNTS["sweep_point_runs"]
 
 
 def reset_counters() -> None:

@@ -31,6 +31,7 @@ KIND_GRAPH = "graph"
 KIND_GCOD = "gcod"
 KIND_TRACE = "trace"
 KIND_EXPERIMENT = "experiment"
+KIND_SWEEP = "sweep"
 
 
 def jsonable(obj: Any) -> Any:
@@ -143,6 +144,47 @@ def trace_key(gcod: ArtifactKey) -> ArtifactKey:
     return make_key(KIND_TRACE, gcod_digest=gcod.digest)
 
 
+def sweep_point_key(
+    dataset: str,
+    scale: Optional[float],
+    arch: str,
+    config: Any,
+    kernel_backend: Optional[str],
+    seed: int,
+    profile: str,
+    bits: int,
+    hw_scale: float,
+    axes: Dict[str, Any],
+) -> ArtifactKey:
+    """Key for one evaluated design point of a ``repro sweep``.
+
+    The payload covers everything the point's metrics depend on — the full
+    training config (backend spellings normalized exactly like
+    :func:`gcod_key`), the platform variant (``bits``, ``hw_scale``) — plus
+    the raw axis values, because two points may share a resolved config
+    (e.g. ``S`` clamped up to ``C``) while reporting different coordinates.
+    """
+    backend = _resolve_backend_name(kernel_backend)
+    config_payload = jsonable(config)
+    if isinstance(config_payload, dict) and "kernel_backend" in config_payload:
+        config_payload["kernel_backend"] = _resolve_backend_name(
+            config_payload["kernel_backend"]
+        )
+    return make_key(
+        KIND_SWEEP,
+        dataset=dataset,
+        scale=scale,
+        arch=arch,
+        config=config_payload,
+        kernel_backend=backend,
+        seed=seed,
+        profile=profile,
+        bits=bits,
+        hw_scale=float(hw_scale),
+        axes=dict(sorted(axes.items())),
+    )
+
+
 def experiment_key(
     name: str,
     profile: str,
@@ -166,6 +208,7 @@ __all__: Tuple[str, ...] = (
     "KIND_EXPERIMENT",
     "KIND_GCOD",
     "KIND_GRAPH",
+    "KIND_SWEEP",
     "KIND_TRACE",
     "ArtifactKey",
     "canonical_json",
@@ -175,5 +218,6 @@ __all__: Tuple[str, ...] = (
     "jsonable",
     "make_key",
     "stable_hash",
+    "sweep_point_key",
     "trace_key",
 )

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.runtime.keys import ArtifactKey, gcod_key, graph_key
 from repro.runtime.registry import (
     ExperimentSpec,
@@ -41,6 +42,17 @@ from repro.runtime.registry import (
 )
 from repro.runtime.store import ArtifactStore
 from repro.runtime import counters
+
+
+class GCoDTaskError(ReproError, RuntimeError):
+    """A GCoD training task failed (in a pool worker or inline).
+
+    Carries one human-readable message naming the ``(dataset, arch)`` task,
+    so the parent process of a ``--jobs N`` run reports *which* run died
+    rather than surfacing a bare worker traceback. Single-argument by
+    construction: multiprocessing pickles the exception across the pool
+    boundary, and single-message exceptions round-trip reliably.
+    """
 
 
 @dataclass(frozen=True)
@@ -163,23 +175,139 @@ def plan_experiments(
 
 
 def _execute_task(payload: Tuple[str, GCoDTask]) -> Tuple[str, str]:
-    """Pool worker: run one GCoD task and persist it into the store."""
+    """Pool worker: run one GCoD task and persist it into the store.
+
+    Failures are re-raised as :class:`GCoDTaskError` naming the task. The
+    store's atomic writes guarantee a dying worker leaves no partial entry
+    under a valid key — a rerun replans against whatever the surviving
+    workers completed.
+    """
     root, task = payload
     from repro.algorithm import run_gcod
     from repro.graphs import load_dataset
     from repro.sparse.kernels import set_default_backend
 
-    set_default_backend(task.kernel_backend)
-    store = ArtifactStore(root)
+    try:
+        set_default_backend(task.kernel_backend)
+        store = ArtifactStore(root)
+        graph = _task_graph(task, store)
+        result = run_gcod(graph, task.arch, task.config)
+        key = task.key()
+        store.put(key, result, summary=result.to_summary_dict())
+    except GCoDTaskError:
+        raise
+    except Exception as exc:
+        raise _task_error(task, exc) from exc
+    return (task.dataset, task.arch)
+
+
+def _task_error(task: GCoDTask, exc: Exception) -> GCoDTaskError:
+    """The one wrapping used by every execution path (tests match on it)."""
+    return GCoDTaskError(
+        f"GCoD task ({task.dataset}, {task.arch}) failed: "
+        f"{type(exc).__name__}: {exc}"
+    )
+
+
+def _task_graph(task: GCoDTask, store: Optional[ArtifactStore]):
+    """The graph at the *task's* scale and seed, store-backed."""
+    from repro.graphs import load_dataset
+
     gkey = graph_key(task.dataset, task.scale, task.seed)
-    graph = store.get(gkey)
+    graph = store.get(gkey) if store is not None else None
     if graph is None:
         graph = load_dataset(task.dataset, scale=task.scale, seed=task.seed)
-        store.put(gkey, graph)
+        if store is not None:
+            store.put(gkey, graph)
+    return graph
+
+
+def warm_tasks(
+    tasks: Sequence[GCoDTask],
+    context,
+    jobs: int = 1,
+    progress=None,
+) -> int:
+    """Train ``tasks`` into the context's store, possibly across a pool.
+
+    The shared warming phase of ``repro report`` and ``repro sweep``:
+    serially each task trains in-process (through ``context.gcod`` when
+    the task matches the context's own config — populating the in-memory
+    memo — or directly from ``task.config`` otherwise, so custom-config
+    tasks are honored on every path); with ``jobs > 1`` and a store
+    attached, workers run :func:`_execute_task` and hand results back
+    *through* the store. Returns the effective pool width used (1 when
+    serial).
+    """
+    store: Optional[ArtifactStore] = context.store
+    say = progress or (lambda msg: None)
+    if not tasks:
+        return 1
+    if jobs > 1 and store is None:
+        # Workers hand results back through the shared store; without one
+        # there is nothing to pool over.
+        say(f"no artifact store attached: ignoring jobs={jobs}, "
+            "training serially")
+        jobs = 1
+    say(f"warming {len(tasks)} GCoD run(s) with jobs={jobs}")
+    if jobs > 1 and store is not None and len(tasks) > 1:
+        # Pre-warm each unique graph from the parent (rendering needs them
+        # anyway): otherwise every worker sharing a dataset would race the
+        # store miss and regenerate the same graph.
+        for dataset in dict.fromkeys(t.dataset for t in tasks):
+            context.graph(dataset)
+        # fork is cheap (no re-import) but only safe on Linux; macOS system
+        # frameworks and BLAS are fork-unsafe (why CPython's macOS default
+        # moved to spawn).
+        use_fork = (sys.platform.startswith("linux")
+                    and "fork" in mp.get_all_start_methods())
+        ctx_mp = mp.get_context("fork" if use_fork else "spawn")
+        payloads = [(store.root, task) for task in tasks]
+        with ctx_mp.Pool(processes=min(jobs, len(tasks))) as pool:
+            for dataset, arch in pool.imap_unordered(_execute_task, payloads):
+                say(f"  trained ({dataset}, {arch})")
+        # The results live in the store now; nothing to pull into memory —
+        # rendering loads exactly what it needs.
+        return min(jobs, len(tasks))
+    for task in tasks:
+        context_key = context.gcod_store_key(task.dataset, task.arch)
+        if task.key().digest == context_key.digest:
+            # The context's own run: train through the memo so store-less
+            # rendering reuses it without a second training.
+            context.gcod(task.dataset, task.arch)
+        else:
+            # Custom-config task (a sweep point): train exactly what the
+            # task says, never the context's re-derived config.
+            try:
+                _execute_task_inline(context, task)
+            except GCoDTaskError:
+                raise
+            except Exception as exc:
+                raise _task_error(task, exc) from exc
+        say(f"  trained ({task.dataset}, {task.arch})")
+    return 1
+
+
+def _execute_task_inline(context, task: GCoDTask) -> None:
+    """Serial counterpart of :func:`_execute_task`: same store protocol,
+    but no process-global backend default is touched (the task's config
+    already names its backend). The graph comes from the context's memo
+    only when the task shares the context's scale and seed — an arbitrary
+    task trains on the graph *its* key names, exactly like a pool worker.
+    """
+    from repro.algorithm import run_gcod
+
+    store: Optional[ArtifactStore] = context.store
+    if store is not None and store.contains(task.key()):
+        return
+    if (task.scale == context.scale_for(task.dataset)
+            and task.seed == context.seed):
+        graph = context.graph(task.dataset)
+    else:
+        graph = _task_graph(task, store)
     result = run_gcod(graph, task.arch, task.config)
-    key = task.key()
-    store.put(key, result, summary=result.to_summary_dict())
-    return (task.dataset, task.arch)
+    if store is not None:
+        store.put(task.key(), result, summary=result.to_summary_dict())
 
 
 def execute_plan(
@@ -196,36 +324,7 @@ def execute_plan(
     store: Optional[ArtifactStore] = context.store
     say = progress or (lambda msg: None)
 
-    if plan.tasks:
-        if jobs > 1 and store is None:
-            # Workers hand results back through the shared store; without
-            # one there is nothing to pool over.
-            say("no artifact store attached: ignoring jobs="
-                f"{jobs}, training serially")
-            jobs = 1
-        say(f"warming {len(plan.tasks)} GCoD run(s) with jobs={jobs}")
-    if plan.tasks and jobs > 1 and store is not None and len(plan.tasks) > 1:
-        # Pre-warm each unique graph from the parent (rendering needs them
-        # anyway): otherwise every worker sharing a dataset would race the
-        # store miss and regenerate the same graph.
-        for dataset in dict.fromkeys(t.dataset for t in plan.tasks):
-            context.graph(dataset)
-        # fork is cheap (no re-import) but only safe on Linux; macOS system
-        # frameworks and BLAS are fork-unsafe (why CPython's macOS default
-        # moved to spawn).
-        use_fork = (sys.platform.startswith("linux")
-                    and "fork" in mp.get_all_start_methods())
-        ctx_mp = mp.get_context("fork" if use_fork else "spawn")
-        payloads = [(store.root, task) for task in plan.tasks]
-        with ctx_mp.Pool(processes=min(jobs, len(plan.tasks))) as pool:
-            for dataset, arch in pool.imap_unordered(_execute_task, payloads):
-                say(f"  trained ({dataset}, {arch})")
-        # The results live in the store now; nothing to pull into memory —
-        # rendering below loads exactly what it needs.
-    else:
-        for task in plan.tasks:
-            context.gcod(task.dataset, task.arch)
-            say(f"  trained ({task.dataset}, {task.arch})")
+    warm_tasks(plan.tasks, context, jobs=jobs, progress=progress)
 
     for spec in plan.specs:
         key = plan.experiment_keys[spec.name]

@@ -1,0 +1,65 @@
+"""Design-space sweeps over the GCoD cost model (``repro sweep``).
+
+The declarative counterpart of the paper's Sec. VI-C ablation, generalized
+the way `zigzag`-style DSE loops generalize a single cost-model query:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec` grids over dataset x arch x
+  GCoD knobs (C, S, sparsity) x quantization bits x kernel backend x
+  hardware scale, expanded into content-addressed :class:`SweepPoint`\\ s;
+* :mod:`repro.sweep.engine` — the store-backed plan/execute loop (cached
+  points skip, unique training deps warm across the process pool);
+* :mod:`repro.sweep.aggregate` — long-form tidy tables and the
+  speedup/accuracy Pareto frontier;
+* :mod:`repro.sweep.registry` — named sweeps (``ablation-cs``,
+  ``tab05-scale``) discovered by the CLI.
+"""
+
+from repro.sweep.aggregate import (
+    long_form_result,
+    pareto_frontier,
+    pareto_result,
+    sweep_report_text,
+)
+from repro.sweep.engine import (
+    SweepPlan,
+    SweepPointResult,
+    SweepRunReport,
+    execute_sweep,
+    plan_sweep,
+    run_sweep,
+)
+from repro.sweep.registry import (
+    all_sweeps,
+    get_sweep,
+    register_sweep,
+    sweep_names,
+)
+from repro.sweep.spec import (
+    AXES,
+    SweepPoint,
+    SweepSpec,
+    expand,
+    parse_grid,
+)
+
+__all__ = [
+    "AXES",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepRunReport",
+    "SweepSpec",
+    "all_sweeps",
+    "execute_sweep",
+    "expand",
+    "get_sweep",
+    "long_form_result",
+    "pareto_frontier",
+    "pareto_result",
+    "parse_grid",
+    "plan_sweep",
+    "register_sweep",
+    "run_sweep",
+    "sweep_names",
+    "sweep_report_text",
+]

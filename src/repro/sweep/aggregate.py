@@ -1,0 +1,130 @@
+"""Sweep aggregation: long-form tables and the speedup/accuracy Pareto set.
+
+The long-form table has one row per grid point — the declared axis
+coordinates first (in axis order), then the canonical metric columns — so
+it loads straight into pandas/R as tidy data via
+:meth:`~repro.evaluation.context.ExperimentResult.to_csv`. The Pareto
+helpers reduce the same results to the designs worth looking at: the
+points no other point beats on *both* speedup (over AWB-GCN) and final
+accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.evaluation.context import ExperimentResult
+from repro.sweep.engine import SweepPointResult
+from repro.sweep.spec import SweepSpec
+
+#: Metric columns appended after the axis coordinates, in table order.
+METRIC_HEADERS = (
+    "speedup vs awb",
+    "BW reduction vs hygcn",
+    "accuracy %",
+    "balance",
+    "latency (ms)",
+    "energy (mJ)",
+)
+
+
+def _metric_cells(r: SweepPointResult) -> tuple:
+    return (
+        round(r.speedup_vs_awb, 2),
+        f"{r.bw_reduction_vs_hygcn * 100:.0f}%",
+        round(r.accuracy * 100, 1),
+        round(r.balance, 3),
+        # 4-significant-digit strings: micro-scale latencies would render
+        # as 0.00 under the table's fixed two-decimal float format.
+        f"{r.gcod_latency_s * 1e3:.4g}",
+        f"{r.gcod_energy_j * 1e3:.4g}",
+    )
+
+
+def long_form_result(
+    spec: SweepSpec, results: Sequence[SweepPointResult]
+) -> ExperimentResult:
+    """The whole grid as one tidy table (grid order preserved)."""
+    headers = spec.axis_names + METRIC_HEADERS
+    rows = [
+        tuple(value for _, value in r.axes) + _metric_cells(r)
+        for r in results
+    ]
+    speedups = [r.speedup_vs_awb for r in results]
+    accs = [r.accuracy for r in results]
+    extra = (
+        f"{len(results)} design points; speedup over AWB-GCN in "
+        f"[{min(speedups):.2f}, {max(speedups):.2f}]; accuracy in "
+        f"[{min(accs) * 100:.1f}%, {max(accs) * 100:.1f}%]."
+    )
+    return ExperimentResult(
+        name=f"Sweep: {spec.title}",
+        headers=headers,
+        rows=rows,
+        extra_text=extra,
+    )
+
+
+def pareto_frontier(
+    results: Sequence[SweepPointResult],
+) -> List[SweepPointResult]:
+    """The non-dominated set, maximizing (speedup_vs_awb, accuracy).
+
+    A point is dominated when another point is at least as good on both
+    objectives and strictly better on one. Ties (exact duplicates) all
+    survive. The frontier is returned sorted by descending speedup, then
+    descending accuracy, then grid order — a deterministic walk along the
+    trade-off curve.
+    """
+    indexed = list(enumerate(results))
+    frontier = []
+    for i, r in indexed:
+        dominated = any(
+            q.speedup_vs_awb >= r.speedup_vs_awb
+            and q.accuracy >= r.accuracy
+            and (q.speedup_vs_awb > r.speedup_vs_awb
+                 or q.accuracy > r.accuracy)
+            for _, q in indexed
+        )
+        if not dominated:
+            frontier.append((i, r))
+    frontier.sort(key=lambda ir: (-ir[1].speedup_vs_awb,
+                                  -ir[1].accuracy, ir[0]))
+    return [r for _, r in frontier]
+
+
+def pareto_result(
+    spec: SweepSpec, results: Sequence[SweepPointResult]
+) -> ExperimentResult:
+    """The Pareto frontier as a table (same columns as the long form)."""
+    frontier = pareto_frontier(results)
+    headers = spec.axis_names + METRIC_HEADERS
+    rows = [
+        tuple(value for _, value in r.axes) + _metric_cells(r)
+        for r in frontier
+    ]
+    extra = (
+        f"{len(frontier)} of {len(results)} design points are "
+        "Pareto-optimal on (speedup vs AWB-GCN, accuracy)."
+    )
+    return ExperimentResult(
+        name=f"Pareto frontier: {spec.title}",
+        headers=headers,
+        rows=rows,
+        extra_text=extra,
+    )
+
+
+def sweep_report_text(
+    spec: SweepSpec, results: Sequence[SweepPointResult]
+) -> str:
+    """The printable ``repro sweep`` document: long form + frontier."""
+    parts = [f"# Sweep: {spec.name}", ""]
+    if spec.description:
+        parts += [spec.description, ""]
+    parts += [
+        long_form_result(spec, results).render(),
+        "",
+        pareto_result(spec, results).render(),
+    ]
+    return "\n".join(parts) + "\n"

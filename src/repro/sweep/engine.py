@@ -1,0 +1,302 @@
+"""Store-backed sweep execution: plan, warm, evaluate, aggregate.
+
+The engine mirrors the plan/execute split of :mod:`repro.runtime.runner`:
+
+1. **Plan** — expand the :class:`~repro.sweep.spec.SweepSpec` into points,
+   check which already have a :class:`SweepPointResult` in the artifact
+   store (those are *skipped*, counter-assertably), and de-duplicate the
+   remaining points' GCoD training dependencies — points that differ only
+   in platform axes (``bits``, ``hw_scale``) or report coordinates share
+   one trained pipeline.
+2. **Execute** — warm the unique training runs (across the PR-3 process
+   pool when ``jobs > 1``), then evaluate every point *in grid order* in
+   the parent: train-or-load the pipeline, cost the design on the analytic
+   platform models, persist the metrics. Evaluation order is fixed and the
+   platform models are deterministic, so ``--jobs N`` output is
+   byte-identical to serial, and a warm rerun byte-identical to a cold one.
+
+Per-point metrics follow Sec. VI-C: speedup over AWB-GCN and bandwidth
+reduction vs HyGCN on the same (paper-scale) workload, plus accuracy,
+intra-class balance, latency, and energy of the GCoD variant selected by
+the ``bits``/``hw_scale`` axes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime import counters
+from repro.runtime.keys import ArtifactKey
+from repro.runtime.runner import GCoDTask, warm_tasks
+from repro.runtime.store import ArtifactStore
+from repro.sweep.spec import SweepPoint, SweepSpec, expand
+
+
+@dataclass
+class SweepPointResult:
+    """Metrics of one evaluated design point (the stored artifact)."""
+
+    #: raw grid coordinates, in axis order — e.g. (("dataset", "cora"),
+    #: ("C", 2), ("S", 8)).
+    axes: Tuple[Tuple[str, Any], ...]
+    dataset: str
+    arch: str
+    num_classes: int
+    num_subgraphs: int
+    prune_ratio: float
+    bits: int
+    hw_scale: float
+    kernel_backend: str
+    speedup_vs_awb: float
+    bw_reduction_vs_hygcn: float
+    accuracy: float
+    balance: float
+    gcod_latency_s: float
+    awb_latency_s: float
+    gcod_required_bw_gbps: float
+    hygcn_required_bw_gbps: float
+    gcod_energy_j: float
+
+    def coord(self, axis: str, default: Any = None) -> Any:
+        for name, value in self.axes:
+            if name == axis:
+                return value
+        return default
+
+    def to_summary_dict(self) -> Dict[str, Any]:
+        """Scalar summary for cache-entry metadata (``repro cache ls``)."""
+        return {
+            "dataset": self.dataset,
+            "arch": self.arch,
+            "speedup_vs_awb": round(float(self.speedup_vs_awb), 4),
+            "accuracy": round(float(self.accuracy), 4),
+            "bits": self.bits,
+            "hw_scale": self.hw_scale,
+        }
+
+
+@dataclass
+class SweepPlan:
+    """What a sweep invocation is about to do."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+    keys: List[ArtifactKey]
+    #: grid indices whose result is already stored.
+    cached: List[int]
+    #: unique GCoD training runs that must actually execute.
+    tasks: List[GCoDTask]
+    #: unique training dependencies before store filtering.
+    deps_total: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"sweep {self.spec.name}: {len(self.points)} points "
+            f"({len(self.cached)} cached), {self.deps_total} unique GCoD "
+            f"deps ({len(self.tasks)} to run)"
+        )
+
+
+@dataclass
+class SweepRunReport:
+    """Everything ``execute_sweep`` did."""
+
+    spec: SweepSpec
+    results: List[SweepPointResult] = field(default_factory=list)
+    cache_hits: List[int] = field(default_factory=list)
+    points_evaluated: int = 0
+    deps_total: int = 0
+    tasks_executed: int = 0
+    gcod_runs: int = 0
+    wall_s: float = 0.0
+
+
+def plan_sweep(context, spec: SweepSpec) -> SweepPlan:
+    """Phase 1: expand the grid, find cached points, dedupe training."""
+    points = expand(spec, context)
+    keys = [p.key() for p in points]
+    store: Optional[ArtifactStore] = context.store
+    cached = [
+        i for i, key in enumerate(keys)
+        if store is not None and store.contains(key)
+    ]
+    cached_set = set(cached)
+
+    deps: Dict[str, GCoDTask] = {}
+    for i, point in enumerate(points):
+        if i in cached_set:
+            continue  # its metrics are stored; no training needed
+        task = point.gcod_task()
+        deps.setdefault(task.key().digest, task)
+    tasks = [
+        task for digest, task in deps.items()
+        if store is None or not store.contains(task.key())
+    ]
+    return SweepPlan(
+        spec=spec,
+        points=points,
+        keys=keys,
+        cached=cached,
+        tasks=tasks,
+        deps_total=len(deps),
+    )
+
+
+class _PointEvaluator:
+    """Evaluates points with per-sweep caches (baselines, platforms)."""
+
+    def __init__(self, context):
+        self.context = context
+        self._gcod: Dict[str, object] = {}  # gcod digest -> GCoDResult
+        self._baselines: Dict[Tuple[str, str], Tuple] = {}
+        self._platforms: Dict[Tuple[int, float], object] = {}
+
+    def _baseline_reports(self, dataset: str, arch: str):
+        """AWB-GCN and HyGCN on the untreated (paper-scale) workload.
+
+        The models come from ``context.platforms()`` — the same memoized
+        registry every experiment uses — so a platform-construction
+        change can never apply to experiments but not to sweeps.
+        """
+        key = (dataset, arch)
+        if key not in self._baselines:
+            plats = self.context.platforms()
+            wl_base = self.context.baseline_workload(dataset, arch)
+            self._baselines[key] = (
+                plats["awb-gcn"].run(wl_base), plats["hygcn"].run(wl_base)
+            )
+        return self._baselines[key]
+
+    def _gcod_platform(self, bits: int, hw_scale: float):
+        """The GCoD accelerator variant for (bits, hw_scale)."""
+        key = (bits, hw_scale)
+        if key not in self._platforms:
+            from repro.hardware.accelerators import GCoDAccelerator
+            from repro.hardware.accelerators.gcod import DEFAULT_PES
+
+            num_pes = None
+            if hw_scale != 1.0:
+                num_pes = max(1, int(round(DEFAULT_PES[bits] * hw_scale)))
+            self._platforms[key] = GCoDAccelerator(bits=bits, num_pes=num_pes)
+        return self._platforms[key]
+
+    def _gcod_result(self, point: SweepPoint):
+        """Train-or-load the pipeline behind ``point`` (store-backed)."""
+        from repro.algorithm import run_gcod
+
+        task = point.gcod_task()
+        key = task.key()
+        if key.digest in self._gcod:
+            return self._gcod[key.digest]
+        store: Optional[ArtifactStore] = self.context.store
+        result = store.get(key) if store is not None else None
+        if result is None:
+            result = run_gcod(
+                self.context.graph(point.dataset), point.arch, point.config
+            )
+            if store is not None:
+                store.put(key, result, summary=result.to_summary_dict())
+        self._gcod[key.digest] = result
+        return result
+
+    def evaluate(self, point: SweepPoint) -> SweepPointResult:
+        """Compute one point's metrics (the expensive, counted path)."""
+        from repro.hardware import extract_workload
+
+        counters.record_sweep_point_run()
+        awb, hygcn = self._baseline_reports(point.dataset, point.arch)
+        result = self._gcod_result(point)
+        wl = extract_workload(
+            result.final_graph, result.layout, point.arch, paper_scale=True
+        )
+        report = self._gcod_platform(point.bits, point.hw_scale).run(wl)
+        speedup = awb.latency_s / report.latency_s
+        bw_red = 1.0 - report.required_bandwidth_gbps / max(
+            hygcn.required_bandwidth_gbps, 1e-9
+        )
+        return SweepPointResult(
+            axes=point.axes,
+            dataset=point.dataset,
+            arch=point.arch,
+            num_classes=point.config.num_classes,
+            num_subgraphs=point.config.num_subgraphs,
+            prune_ratio=point.config.prune_ratio,
+            bits=point.bits,
+            hw_scale=point.hw_scale,
+            kernel_backend=point.kernel_backend,
+            speedup_vs_awb=float(speedup),
+            bw_reduction_vs_hygcn=float(bw_red),
+            accuracy=float(result.accuracy_final),
+            balance=float(
+                result.layout.balance_within_classes(result.final_graph.adj)
+            ),
+            gcod_latency_s=float(report.latency_s),
+            awb_latency_s=float(awb.latency_s),
+            gcod_required_bw_gbps=float(report.required_bandwidth_gbps),
+            hygcn_required_bw_gbps=float(hygcn.required_bandwidth_gbps),
+            gcod_energy_j=float(report.energy.total_j),
+        )
+
+
+def execute_sweep(
+    plan: SweepPlan,
+    context,
+    jobs: int = 1,
+    progress=None,
+) -> SweepRunReport:
+    """Phase 2: warm training runs, evaluate every point in grid order."""
+    t0 = time.perf_counter()
+    runs_before = counters.gcod_run_count()
+    say = progress or (lambda msg: None)
+    store: Optional[ArtifactStore] = context.store
+    report = SweepRunReport(
+        spec=plan.spec,
+        deps_total=plan.deps_total,
+        tasks_executed=len(plan.tasks),
+    )
+
+    if jobs > 1 and store is not None and len(plan.tasks) > 1:
+        # warm_tasks is task-faithful on every path; pooling it here is
+        # purely a parallelism win. Serial runs skip it and let each
+        # point train lazily in _gcod_result (no store round-trip).
+        warm_tasks(plan.tasks, context, jobs=jobs, progress=progress)
+    elif plan.tasks:
+        say(f"{len(plan.tasks)} GCoD run(s) will train inline")
+
+    cached_set = set(plan.cached)
+    evaluator = _PointEvaluator(context)
+    for i, point in enumerate(plan.points):
+        result = None
+        if i in cached_set:
+            result = store.get(plan.keys[i])
+            if result is not None:
+                report.cache_hits.append(i)
+            # a corrupted entry degrades to a recompute below
+        if result is None:
+            result = evaluator.evaluate(point)
+            report.points_evaluated += 1
+            if store is not None:
+                store.put(plan.keys[i], result,
+                          summary=result.to_summary_dict())
+            say(f"  [{i + 1}/{len(plan.points)}] {point.label()}: "
+                f"{result.speedup_vs_awb:.2f}x vs AWB-GCN")
+        report.results.append(result)
+
+    report.gcod_runs = counters.gcod_run_count() - runs_before
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_sweep(
+    context,
+    spec: SweepSpec,
+    jobs: int = 1,
+    progress=None,
+) -> SweepRunReport:
+    """Plan then execute in one call; the ``repro sweep`` entry point."""
+    plan = plan_sweep(context, spec)
+    if progress:
+        progress(plan.describe())
+    return execute_sweep(plan, context, jobs=jobs, progress=progress)

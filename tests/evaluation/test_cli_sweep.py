@@ -1,0 +1,108 @@
+"""CLI surface of ``repro sweep``: listing, grids, files, usage errors."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runtime import counters
+
+#: A one-training-run grid at throwaway scale: C is fixed, the platform
+#: axes fan out analytically.
+GRID = "dataset=cora;C=1;S=2;bits=32,8;hw_scale=0.5,1.0"
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_knows_sweep():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "ablation-cs", "--jobs", "2"])
+    assert args.command == "sweep" and args.jobs == 2
+    args = parser.parse_args(["sweep", "--grid", "C=1,2"])
+    assert args.name is None and args.grid == "C=1,2"
+
+
+def test_bare_sweep_lists_registered(capsys):
+    code, out, _ = run_cli(["sweep"], capsys)
+    assert code == 0
+    assert "ablation-cs" in out and "tab05-scale" in out
+    assert "32 points" in out
+
+
+def test_unknown_sweep_name_exits_2(capsys):
+    code, _, err = run_cli(["sweep", "nope"], capsys)
+    assert code == 2
+    assert "unknown sweep" in err
+
+
+def test_name_and_grid_mutually_exclusive(capsys):
+    code, _, err = run_cli(["sweep", "ablation-cs", "--grid", "C=1"],
+                           capsys)
+    assert code == 2
+    assert "not both" in err
+
+
+def test_malformed_grid_exits_2(capsys):
+    code, _, err = run_cli(["sweep", "--grid", "C=one,two"], capsys)
+    assert code == 2
+    assert "axis 'C'" in err
+
+
+def test_json_format_requires_out(capsys):
+    code, _, err = run_cli(["sweep", "--grid", "C=1", "--format", "json"],
+                           capsys)
+    assert code == 2
+    assert "--out DIR" in err
+
+
+@pytest.mark.slow
+def test_grid_sweep_markdown_then_warm_json_csv(tmp_path, capsys):
+    """Cold markdown run, then warm json/csv runs — zero extra training."""
+    base = ["--cache-dir", str(tmp_path / "cache")]
+
+    code, out, err = run_cli(base + ["sweep", "--grid", GRID], capsys)
+    assert code == 0
+    assert "Sweep: Custom grid" in out
+    assert "Pareto frontier" in out
+    assert "4 design points" in out
+
+    # warm rerun: byte-identical stdout, no training, all points cached
+    counters.reset_counters()
+    code, out2, err2 = run_cli(base + ["sweep", "--grid", GRID], capsys)
+    assert code == 0
+    assert out2 == out
+    assert counters.gcod_run_count() == 0
+    assert "4 cached" in err2
+
+    out_dir = tmp_path / "files"
+    code, _, _ = run_cli(
+        base + ["sweep", "--grid", GRID, "--format", "json",
+                "--out", str(out_dir), "--quiet"],
+        capsys,
+    )
+    assert code == 0
+    payload = json.loads((out_dir / "custom.json").read_text())
+    assert payload["sweep"] == "custom"
+    assert payload["axes"]["bits"] == [32, 8]
+    assert len(payload["table"]["rows"]) == 4
+    assert payload["table"]["headers"][:5] == [
+        "dataset", "C", "S", "bits", "hw_scale"
+    ]
+    assert 1 <= len(payload["pareto"]["rows"]) <= 4
+    # volatile run accounting must not leak into the artifact files
+    assert "wall" not in json.dumps(payload)
+
+    code, _, _ = run_cli(
+        base + ["sweep", "--grid", GRID, "--format", "csv",
+                "--out", str(out_dir), "--quiet"],
+        capsys,
+    )
+    assert code == 0
+    table_csv = (out_dir / "custom.csv").read_text()
+    assert table_csv.splitlines()[0].startswith("dataset,C,S,bits,hw_scale")
+    assert len(table_csv.splitlines()) == 5  # header + 4 points
+    assert (out_dir / "custom_pareto.csv").exists()

@@ -1,0 +1,192 @@
+"""Property-based tests for :mod:`repro.runtime.keys`.
+
+Three families of invariants guard the artifact store's correctness:
+
+* **stability** — a key is a pure function of its payload: same inputs,
+  same digest, in this process and in a freshly spawned interpreter
+  (Python's randomized ``hash()`` must never leak in);
+* **injectivity** — changing any config field that affects the trained
+  result changes the digest (a collision would silently serve the wrong
+  pipeline);
+* **normalization** — the one deliberate non-injectivity: ``None`` and the
+  default backend's explicit name are the *same* run, so they must share a
+  digest.
+
+Uses hypothesis when available and skips cleanly otherwise (the CI image
+installs it; the property generators do not appear anywhere else).
+"""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.algorithm import GCoDConfig  # noqa: E402
+from repro.runtime.keys import (  # noqa: E402
+    canonical_json,
+    gcod_key,
+    graph_key,
+    make_key,
+    stable_hash,
+    sweep_point_key,
+)
+
+#: Strategies per GCoDConfig field, constrained to values __post_init__
+#: accepts. Interdependent fields (num_subgraphs >= num_classes) are
+#: handled by building classes first and clamping.
+CONFIG_FIELDS = {
+    "num_classes": st.integers(1, 6),
+    "num_groups": st.integers(1, 4),
+    "num_subgraphs": st.integers(6, 24),
+    "pretrain_epochs": st.integers(0, 50),
+    "early_bird": st.booleans(),
+    "early_bird_threshold": st.floats(0.01, 0.5),
+    "prune_ratio": st.floats(0.0, 0.9),
+    "pola_weight": st.floats(0.0, 2.0),
+    "admm_iterations": st.integers(0, 6),
+    "admm_inner_steps": st.integers(0, 10),
+    "patch_threshold": st.integers(0, 40),
+    "retrain_epochs": st.integers(0, 50),
+    "lr": st.floats(1e-4, 0.5),
+    "seed": st.integers(0, 2**31 - 1),
+}
+
+configs = st.fixed_dictionaries(CONFIG_FIELDS).map(
+    lambda kw: GCoDConfig(**kw)
+)
+
+datasets = st.sampled_from(["cora", "citeseer", "pubmed", "nell", "reddit"])
+scales = st.one_of(st.none(), st.floats(0.001, 1.0))
+profiles = st.sampled_from(["fast", "full"])
+
+
+@given(configs, datasets, scales, profiles, st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_gcod_key_deterministic_within_process(config, dataset, scale,
+                                               profile, seed):
+    a = gcod_key(dataset, scale, "gcn", config, None, seed, profile)
+    b = gcod_key(dataset, scale, "gcn",
+                 dataclasses.replace(config), None, seed, profile)
+    assert a.digest == b.digest
+    assert a.kind == "gcod"
+    assert len(a.digest) == 64
+
+
+@given(configs, st.sampled_from(sorted(CONFIG_FIELDS)))
+@settings(max_examples=60, deadline=None)
+def test_gcod_key_injective_on_config_fields(config, field):
+    """Perturbing any single config field must change the digest."""
+    value = getattr(config, field)
+    if isinstance(value, bool):
+        changed = not value
+    elif isinstance(value, int):
+        changed = value + 1
+    elif field == "prune_ratio":
+        changed = value + 0.05  # stays inside the validated [0, 1)
+    else:
+        changed = value + 0.25
+    if field == "num_classes" and changed > config.num_subgraphs:
+        return  # would violate config validation; not a representable run
+    other = dataclasses.replace(config, **{field: changed})
+    a = gcod_key("cora", 0.1, "gcn", config, None, 0, "fast")
+    b = gcod_key("cora", 0.1, "gcn", other, None, 0, "fast")
+    assert a.digest != b.digest, f"collision when {field} changed"
+
+
+@given(configs)
+@settings(max_examples=20, deadline=None)
+def test_gcod_key_invariant_under_default_backend_spelling(config):
+    """None and the default backend's explicit name are the same run."""
+    from repro.sparse.kernels import get_backend
+
+    default = get_backend(None).name
+    spellings = [
+        gcod_key("cora", 0.1, "gcn", config, None, 0, "fast"),
+        gcod_key("cora", 0.1, "gcn", config, default, 0, "fast"),
+        gcod_key("cora", 0.1, "gcn",
+                 dataclasses.replace(config, kernel_backend=default),
+                 None, 0, "fast"),
+    ]
+    assert len({k.digest for k in spellings}) == 1
+    # ... but a genuinely different backend is a different run
+    other = gcod_key("cora", 0.1, "gcn", config, "reference", 0, "fast")
+    assert other.digest != spellings[0].digest
+
+
+@given(configs, st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_sweep_key_separates_platform_axes(config, seed):
+    """bits/hw_scale/axes are part of the point key, not the gcod key."""
+    base = dict(dataset="cora", scale=0.1, arch="gcn", config=config,
+                kernel_backend=None, seed=seed, profile="fast")
+    a = sweep_point_key(**base, bits=32, hw_scale=1.0, axes={"C": 2})
+    assert a.digest == sweep_point_key(**base, bits=32, hw_scale=1.0,
+                                       axes={"C": 2}).digest
+    assert a.digest != sweep_point_key(**base, bits=8, hw_scale=1.0,
+                                       axes={"C": 2}).digest
+    assert a.digest != sweep_point_key(**base, bits=32, hw_scale=2.0,
+                                       axes={"C": 2}).digest
+    assert a.digest != sweep_point_key(**base, bits=32, hw_scale=1.0,
+                                       axes={"C": 3}).digest
+
+
+@given(st.dictionaries(
+    st.text(st.characters(codec="ascii"), max_size=12),
+    st.one_of(st.none(), st.booleans(), st.integers(-10**9, 10**9),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    max_size=6,
+))
+@settings(max_examples=40, deadline=None)
+def test_stable_hash_key_order_independent(payload):
+    """Dict insertion order never leaks into the digest."""
+    reordered = dict(sorted(payload.items(), reverse=True))
+    assert stable_hash(payload) == stable_hash(reordered)
+    assert canonical_json(payload) == canonical_json(reordered)
+
+
+def test_digests_stable_across_processes():
+    """A spawned interpreter computes the very same digests.
+
+    This is the load-bearing property behind the shared store: worker
+    processes (and tomorrow's second machine) must address the same
+    artifacts. A handful of representative keys is recomputed in a fresh
+    ``python -S``-free subprocess and compared digest-for-digest.
+    """
+    script = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.algorithm import GCoDConfig
+from repro.runtime.keys import gcod_key, graph_key, make_key, sweep_point_key
+config = GCoDConfig(num_classes=3, num_subgraphs=9, prune_ratio=0.25,
+                    seed=17)
+print(graph_key("cora", 0.125, 7).digest)
+print(gcod_key("reddit", None, "gin", config, None, 3, "full").digest)
+print(sweep_point_key("cora", 0.1, "gcn", config, None, 0, "fast",
+                      bits=8, hw_scale=0.5,
+                      axes={{"C": 3, "S": 9}}).digest)
+print(make_key("graph", text="snowman \\u2603", value=1.5).digest)
+"""
+    import repro
+
+    src = repro.__path__[0].rsplit("/repro", 1)[0]
+    out = subprocess.run(
+        [sys.executable, "-c", script.format(src=src)],
+        capture_output=True, text=True, check=True,
+    ).stdout.splitlines()
+
+    config = GCoDConfig(num_classes=3, num_subgraphs=9, prune_ratio=0.25,
+                        seed=17)
+    here = [
+        graph_key("cora", 0.125, 7).digest,
+        gcod_key("reddit", None, "gin", config, None, 3, "full").digest,
+        sweep_point_key("cora", 0.1, "gcn", config, None, 0, "fast",
+                        bits=8, hw_scale=0.5,
+                        axes={"C": 3, "S": 9}).digest,
+        make_key("graph", text="snowman ☃", value=1.5).digest,
+    ]
+    assert out == here

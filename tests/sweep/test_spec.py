@@ -1,0 +1,202 @@
+"""SweepSpec construction, --grid parsing, and grid expansion."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownDatasetError, UnknownSweepError
+from repro.evaluation import EvalContext
+from repro.sweep import (
+    SweepSpec,
+    all_sweeps,
+    expand,
+    get_sweep,
+    parse_grid,
+    register_sweep,
+    sweep_names,
+)
+
+
+def ctx():
+    return EvalContext(profile="fast")
+
+
+# ----------------------------------------------------------------------
+# spec construction / validation
+# ----------------------------------------------------------------------
+def test_spec_normalizes_axes_and_counts_points():
+    spec = SweepSpec(name="t", title="t",
+                     axes={"dataset": ["cora"], "C": [1, 2], "S": (8, 12)})
+    assert spec.axis_names == ("dataset", "C", "S")
+    assert spec.num_points == 4
+    assert spec.axes[1] == ("C", (1, 2))  # values coerced to tuples
+    assert "4 points" in spec.describe()
+
+
+def test_spec_rejects_unknown_axis_and_empty_values():
+    with pytest.raises(ConfigError, match="unknown sweep axis"):
+        SweepSpec(name="t", title="t", axes={"chunkiness": (1,)})
+    with pytest.raises(ConfigError, match="no values"):
+        SweepSpec(name="t", title="t", axes={"C": ()})
+    with pytest.raises(ConfigError, match="declares no axes"):
+        SweepSpec(name="t", title="t", axes={})
+
+
+def test_spec_validates_axis_values():
+    with pytest.raises(ConfigError):
+        SweepSpec(name="t", title="t", axes={"bits": (16,)})
+    with pytest.raises(ConfigError):
+        SweepSpec(name="t", title="t", axes={"sparsity": (1.5,)})
+    with pytest.raises(ConfigError):
+        SweepSpec(name="t", title="t", axes={"hw_scale": (0.0,)})
+    with pytest.raises(ConfigError):
+        SweepSpec(name="t", title="t", axes={"C": ("many",)})
+
+
+def test_spec_is_hashable_and_immutable():
+    spec = SweepSpec(name="t", title="t", axes={"C": (1, 2)})
+    assert hash(spec) == hash(
+        SweepSpec(name="t", title="t", axes={"C": (1, 2)})
+    )
+    with pytest.raises(AttributeError):
+        spec.name = "other"
+
+
+# ----------------------------------------------------------------------
+# --grid parsing
+# ----------------------------------------------------------------------
+def test_parse_grid_roundtrip():
+    axes = parse_grid("dataset=cora,reddit; C=1,2,3,4 ;S=8,12,16,20")
+    assert axes == {
+        "dataset": ("cora", "reddit"),
+        "C": (1, 2, 3, 4),
+        "S": (8, 12, 16, 20),
+    }
+    spec = SweepSpec(name="g", title="g", axes=axes)
+    assert spec.num_points == 32
+
+
+def test_parse_grid_coerces_types():
+    axes = parse_grid("sparsity=0.1,0.2;bits=8,32;hw_scale=0.5,2")
+    assert axes["sparsity"] == (0.1, 0.2)
+    assert axes["bits"] == (8, 32)
+    assert axes["hw_scale"] == (0.5, 2.0)
+    assert all(isinstance(v, float) for v in axes["hw_scale"])
+
+
+@pytest.mark.parametrize("bad", [
+    "", "C", "C=", "nope=1", "C=1;C=2", "C=x", "bits=12",
+])
+def test_parse_grid_rejects_malformed(bad):
+    with pytest.raises(ConfigError):
+        parse_grid(bad)
+
+
+# ----------------------------------------------------------------------
+# expansion
+# ----------------------------------------------------------------------
+def test_expand_grid_order_is_product_order():
+    spec = SweepSpec(name="t", title="t",
+                     axes={"dataset": ("cora", "citeseer"), "C": (1, 2)})
+    points = expand(spec, ctx())
+    assert [p.axes for p in points] == [
+        (("dataset", "cora"), ("C", 1)),
+        (("dataset", "cora"), ("C", 2)),
+        (("dataset", "citeseer"), ("C", 1)),
+        (("dataset", "citeseer"), ("C", 2)),
+    ]
+    # context defaults flow in: scale, seed, profile, resolved backend
+    assert points[0].scale == ctx().scale_for("cora")
+    assert points[0].kernel_backend == "vectorized"
+    assert points[0].bits == 32 and points[0].hw_scale == 1.0
+
+
+def test_expand_clamps_subgraphs_to_classes():
+    spec = SweepSpec(name="t", title="t", axes={"C": (4,), "S": (2,)})
+    point = expand(spec, ctx())[0]
+    assert point.config.num_classes == 4
+    assert point.config.num_subgraphs == 4  # clamped up from S=2
+    assert point.axes == (("C", 4), ("S", 2))  # raw coordinate preserved
+
+
+def test_expand_clamps_default_subgraphs_when_only_c_sweeps():
+    # default num_subgraphs is 8; C=12 alone must not build an invalid config
+    spec = SweepSpec(name="t", title="t", axes={"C": (12,)})
+    point = expand(spec, ctx())[0]
+    assert point.config.num_subgraphs == 12
+
+
+def test_expand_applies_sparsity_and_backend():
+    spec = SweepSpec(
+        name="t", title="t",
+        axes={"sparsity": (0.3,), "kernel_backend": ("reference",)},
+    )
+    point = expand(spec, ctx())[0]
+    assert point.config.prune_ratio == 0.3
+    assert point.config.kernel_backend == "reference"
+    assert point.kernel_backend == "reference"
+
+
+def test_expand_rejects_unknown_dataset_eagerly():
+    spec = SweepSpec(name="t", title="t", axes={"dataset": ("atlantis",)})
+    with pytest.raises(UnknownDatasetError):
+        expand(spec, ctx())
+
+
+def test_expand_rejects_unknown_arch_eagerly():
+    spec = SweepSpec(name="t", title="t", axes={"arch": ("gcn", "gcnn")})
+    with pytest.raises(ConfigError, match="unknown architecture"):
+        expand(spec, ctx())
+
+
+def test_expand_normalizes_name_case():
+    # "Cora"/"GCN" must share cache keys (and table cells) with the
+    # lowercase spellings: load_dataset lowercases, so same numerics.
+    upper = expand(SweepSpec(name="t", title="t",
+                             axes={"dataset": ("Cora",), "arch": ("GCN",)}),
+                   ctx())[0]
+    lower = expand(SweepSpec(name="t", title="t",
+                             axes={"dataset": ("cora",), "arch": ("gcn",)}),
+                   ctx())[0]
+    assert upper.dataset == "cora" and upper.arch == "gcn"
+    assert upper.axes == lower.axes
+    assert upper.key().digest == lower.key().digest
+    assert upper.gcod_task().key().digest == lower.gcod_task().key().digest
+
+
+def test_point_keys_distinct_across_grid_and_stable():
+    spec = SweepSpec(name="t", title="t",
+                     axes={"C": (1, 2), "S": (2, 4), "bits": (8, 32)})
+    points = expand(spec, ctx())
+    digests = [p.key().digest for p in points]
+    assert len(set(digests)) == len(points)
+    assert digests == [p.key().digest for p in expand(spec, ctx())]
+
+
+def test_clamped_duplicate_configs_still_get_distinct_keys():
+    # (C=4, S=2) and (C=4, S=4) resolve to the same config; the raw
+    # coordinates keep their stored results distinct.
+    spec = SweepSpec(name="t", title="t", axes={"C": (4,), "S": (2, 4)})
+    a, b = expand(spec, ctx())
+    assert a.config == b.config
+    assert a.gcod_task().key().digest == b.gcod_task().key().digest
+    assert a.key().digest != b.key().digest
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_builtin_sweeps_are_registered():
+    assert {"ablation-cs", "tab05-scale"} <= set(sweep_names())
+    assert get_sweep("ablation-cs").num_points == 32
+    assert get_sweep("tab05-scale").num_points == 6
+    assert all(isinstance(s, SweepSpec) for s in all_sweeps())
+
+
+def test_unknown_sweep_raises_with_choices():
+    with pytest.raises(UnknownSweepError, match="choose from"):
+        get_sweep("nope")
+
+
+def test_duplicate_sweep_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_sweep(SweepSpec(name="ablation-cs", title="dup",
+                                 axes={"C": (1,)}))
