@@ -1,32 +1,38 @@
 #!/usr/bin/env python
-"""Benchmark cold vs warm ``repro sweep`` and write ``BENCH_sweep.json``.
+"""Benchmark ``repro sweep``: cold vs warm, and parallel point evaluation.
 
-Runs a 24-point grid (four unique training configs; the platform axes
-fan out analytically) twice against a throwaway artifact store:
+Two phases, each against a throwaway artifact store, both written to
+``BENCH_sweep.json`` so CI can chart the trajectory PR over PR:
 
-* **cold** — empty store; the de-duplicated training runs execute
-  (optionally across a process pool via ``--jobs``), every design point's
-  metrics persist;
-* **warm** — a fresh context against the populated store; zero training
-  runs, zero point evaluations, everything loads from disk.
+* **cold vs warm** — a 24-point grid runs twice: cold (the de-duplicated
+  training runs execute, optionally across a process pool via ``--jobs``,
+  every design point's metrics persist) and warm (a fresh context against
+  the populated store; zero training runs, zero point evaluations,
+  everything loads from disk). ``--min-speedup`` gates the warm/cold
+  ratio; the bench also hard-fails if the warm pass trained anything,
+  evaluated any point, or emitted different bytes than the cold pass.
 
-The JSON written to ``--out`` records both wall times, the speedup ratio,
-and the run counters, so CI can chart the trajectory PR over PR. With
-``--min-speedup`` the script exits non-zero if the warm pass isn't at
-least that many times faster. It also hard-fails if the warm pass trained
-anything, evaluated any point, or emitted different bytes than the cold
-serial pass — the sweep acceptance gate.
+* **parallel point evaluation** — a wider 128-point grid (4 unique
+  training configs; the platform axes fan out analytically) is trained
+  once, then its *point evaluations* are re-timed from the warmed
+  pipelines with ``jobs=1`` and ``jobs=--point-jobs``. The two must be
+  byte-identical; ``--min-point-speedup`` gates the parallel ratio.
+  The speedup gate only *enforces* when the machine has at least
+  ``--point-jobs`` CPUs (a single-core box cannot demonstrate
+  parallelism; the numbers are still recorded).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
-    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4 --min-speedup 5
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4 \
+        --min-speedup 5 --min-point-speedup 2
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import shutil
 import sys
@@ -35,6 +41,7 @@ import time
 
 from repro.evaluation import EvalContext
 from repro.runtime import CODE_SCHEMA_VERSION, counters
+from repro.runtime.keys import KIND_SWEEP
 from repro.runtime.store import ArtifactStore
 from repro.sweep import SweepSpec, run_sweep, sweep_report_text
 
@@ -54,13 +61,35 @@ BENCH_SPEC = SweepSpec(
 #: Reduced scale for CI; part of every cache key, so both passes share it.
 BENCH_SCALES = {"cora": 0.1}
 
+#: The point-evaluation grid: still 4 unique training configs, but 128
+#: analytic points over a full-scale graph — enough per-point work (and
+#: enough points per worker chunk to amortize the per-worker artifact
+#: loads) for a process pool to demonstrably win.
+POINT_SPEC = SweepSpec(
+    name="bench-points",
+    title="point-evaluation grid",
+    axes={
+        "C": (1, 2),
+        "S": (2, 3),
+        "bits": (32, 8),
+        "hw_scale": (0.25, 0.375, 0.5, 0.625, 0.75, 1.0, 1.25, 1.5,
+                     1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 6.0, 8.0),
+    },
+)
 
-def run_pass(store_root: str, jobs: int):
+POINT_SCALES = {"cora": 1.0}
+
+
+def fresh_ctx(store_root: str, scales) -> EvalContext:
     ctx = EvalContext(profile="fast", store=ArtifactStore(store_root))
-    ctx.dataset_scales = dict(BENCH_SCALES)
+    ctx.dataset_scales = dict(scales)
+    return ctx
+
+
+def run_pass(store_root: str, spec, scales, jobs: int):
     counters.reset_counters()
     start = time.perf_counter()
-    report = run_sweep(ctx, BENCH_SPEC, jobs=jobs)
+    report = run_sweep(fresh_ctx(store_root, scales), spec, jobs=jobs)
     wall = time.perf_counter() - start
     return {
         "wall_s": round(wall, 4),
@@ -70,7 +99,47 @@ def run_pass(store_root: str, jobs: int):
         "cache_hits": len(report.cache_hits),
         "unique_gcod_deps": report.deps_total,
         "gcod_tasks_executed": report.tasks_executed,
-    }, sweep_report_text(BENCH_SPEC, report.results)
+    }, sweep_report_text(spec, report.results)
+
+
+def bench_cold_warm(jobs: int):
+    store_root = tempfile.mkdtemp(prefix="bench-sweep-store-")
+    try:
+        cold, cold_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
+                                   jobs)
+        warm, warm_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
+                                   jobs=1)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    return cold, warm, cold_text == warm_text
+
+
+def bench_point_eval(jobs: int, point_jobs: int):
+    """Time the analytic point evaluations alone, serial vs pooled."""
+    store_root = tempfile.mkdtemp(prefix="bench-sweep-points-")
+    try:
+        # Train the 4 unique pipelines (and evaluate once) — not timed.
+        _, setup_text = run_pass(store_root, POINT_SPEC, POINT_SCALES, jobs)
+        store = ArtifactStore(store_root)
+        store.clear(kind=KIND_SWEEP)
+        serial, serial_text = run_pass(store_root, POINT_SPEC, POINT_SCALES,
+                                       jobs=1)
+        store.clear(kind=KIND_SWEEP)
+        parallel, parallel_text = run_pass(store_root, POINT_SPEC,
+                                           POINT_SCALES, jobs=point_jobs)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+    speedup = serial["wall_s"] / max(parallel["wall_s"], 1e-9)
+    return {
+        "grid": {name: list(values) for name, values in POINT_SPEC.axes},
+        "scales": POINT_SCALES,
+        "jobs_parallel": point_jobs,
+        "serial": serial,
+        "parallel": parallel,
+        "parallel_speedup": round(speedup, 2),
+        "bytes_identical": (serial_text == parallel_text
+                            and serial_text == setup_text),
+    }
 
 
 def main(argv=None) -> int:
@@ -78,30 +147,38 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_sweep.json")
     parser.add_argument("--jobs", "-j", type=int, default=2,
                         help="pool width for the cold pass")
+    parser.add_argument("--point-jobs", type=int, default=4,
+                        help="pool width for the parallel point-eval pass")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero if warm is not at least this "
                              "many times faster than cold")
+    parser.add_argument("--min-point-speedup", type=float, default=None,
+                        help="exit non-zero if parallel point evaluation "
+                             "is not at least this many times faster than "
+                             "serial (enforced only with >= --point-jobs "
+                             "CPUs)")
     args = parser.parse_args(argv)
 
-    store_root = tempfile.mkdtemp(prefix="bench-sweep-store-")
-    try:
-        cold, cold_text = run_pass(store_root, args.jobs)
-        warm, warm_text = run_pass(store_root, jobs=1)
-    finally:
-        shutil.rmtree(store_root, ignore_errors=True)
+    cold, warm, cold_warm_identical = bench_cold_warm(args.jobs)
+    point_eval = bench_point_eval(args.jobs, args.point_jobs)
 
+    cpus = os.cpu_count() or 1
+    point_gate_enforced = cpus >= args.point_jobs
     speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
     payload = {
-        "benchmark": "cold vs warm `repro sweep`",
+        "benchmark": "cold vs warm `repro sweep` + parallel point eval",
         "schema": CODE_SCHEMA_VERSION,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": cpus,
         "grid": {name: list(values) for name, values in BENCH_SPEC.axes},
         "jobs_cold": args.jobs,
         "cold": cold,
         "warm": warm,
         "warm_speedup": round(speedup, 2),
-        "bytes_identical": warm_text == cold_text,
+        "bytes_identical": cold_warm_identical,
+        "point_eval": dict(point_eval,
+                           gate_enforced=point_gate_enforced),
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -112,18 +189,39 @@ def main(argv=None) -> int:
           f"{cold['points_evaluated']} points)  "
           f"warm: {warm['wall_s']:.2f}s "
           f"({warm['points_evaluated']} points evaluated)  "
-          f"speedup: {speedup:.1f}x  -> {args.out}")
+          f"speedup: {speedup:.1f}x")
+    print(f"point eval ({point_eval['serial']['points']} points): "
+          f"jobs=1 {point_eval['serial']['wall_s']:.2f}s  "
+          f"jobs={args.point_jobs} "
+          f"{point_eval['parallel']['wall_s']:.2f}s  "
+          f"speedup: {point_eval['parallel_speedup']:.1f}x "
+          f"({cpus} CPUs)  -> {args.out}")
 
     if warm["gcod_runs_in_parent"] != 0 or warm["points_evaluated"] != 0:
         print("FAIL: warm pass did real work", file=sys.stderr)
         return 1
-    if not payload["bytes_identical"]:
+    if not cold_warm_identical:
         print("FAIL: warm output differs from cold output", file=sys.stderr)
+        return 1
+    if not point_eval["bytes_identical"]:
+        print("FAIL: parallel point evaluation output differs from serial",
+              file=sys.stderr)
         return 1
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(f"FAIL: warm speedup {speedup:.1f}x < "
               f"required {args.min_speedup}x", file=sys.stderr)
         return 1
+    if args.min_point_speedup is not None:
+        if not point_gate_enforced:
+            print(f"note: {cpus} CPU(s) < --point-jobs={args.point_jobs}; "
+                  f"recording point-eval speedup "
+                  f"{point_eval['parallel_speedup']:.1f}x without "
+                  "enforcing the gate", file=sys.stderr)
+        elif point_eval["parallel_speedup"] < args.min_point_speedup:
+            print(f"FAIL: point-eval speedup "
+                  f"{point_eval['parallel_speedup']:.1f}x < "
+                  f"required {args.min_point_speedup}x", file=sys.stderr)
+            return 1
     return 0
 
 

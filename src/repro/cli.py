@@ -21,9 +21,13 @@ Commands
     Run a design-space sweep: a registered grid (``repro sweep
     ablation-cs``; bare ``repro sweep`` lists them) or an ad-hoc one
     (``--grid "dataset=cora;C=1,2,3,4;S=8,12,16,20"``). Cached points are
-    skipped, unique training runs pool across ``--jobs N``, and the output
-    is a long-form table plus the speedup/accuracy Pareto frontier
-    (``--format json|csv --out DIR`` for machine-readable files).
+    skipped, unique training runs *and* the analytic point evaluations
+    pool across ``--jobs N``, and the output is a long-form table plus a
+    Pareto frontier over selectable objectives (``--objectives
+    speedup,energy,dram``; default speedup,accuracy). An interrupted sweep
+    resumes from its stored manifest with ``--resume``, re-running only
+    the missing points (``--format json|csv --out DIR`` for
+    machine-readable files).
 ``cache``
     Inspect the persistent artifact store: ``ls``, ``stats``, ``clear``.
 
@@ -197,9 +201,14 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
         long_form_result,
         pareto_result,
         parse_grid,
+        resolve_objectives,
         run_sweep,
         sweep_report_text,
     )
+
+    # An unknown --objectives name is a usage error (exit 2 via main's
+    # ConfigError handler) — caught before any planning or training.
+    objectives = resolve_objectives(args.objectives)
 
     if args.name is None and not args.grid:
         print("registered sweeps (run one, or pass --grid):")
@@ -235,7 +244,8 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
 
     progress = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet \
         else None
-    report = run_sweep(ctx, spec, jobs=args.jobs, progress=progress)
+    report = run_sweep(ctx, spec, jobs=args.jobs, progress=progress,
+                       resume=args.resume)
     if progress:
         progress(
             f"{len(report.results)} points in {report.wall_s:.2f}s "
@@ -245,7 +255,8 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
         )
 
     if args.format == "markdown":
-        text = sweep_report_text(spec, report.results)
+        text = sweep_report_text(spec, report.results,
+                                 objectives=objectives)
         if args.output:
             with open(args.output, "w") as fh:
                 fh.write(text)
@@ -256,7 +267,7 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
 
     os.makedirs(args.out, exist_ok=True)
     table = long_form_result(spec, report.results)
-    pareto = pareto_result(spec, report.results)
+    pareto = pareto_result(spec, report.results, objectives=objectives)
     written = []
     if args.format == "json":
         # One document holding the grid, the tidy table, and the frontier.
@@ -266,6 +277,7 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
             "sweep": spec.name,
             "title": spec.title,
             "axes": {name: list(values) for name, values in spec.axes},
+            "objectives": [o.name for o in objectives],
             "profile": ctx.profile,
             "seed": ctx.seed,
             "schema": CODE_SCHEMA_VERSION,
@@ -398,7 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ad-hoc grid, e.g. "
                            "\"dataset=cora;C=1,2,3,4;S=8,12,16,20\"")
     p_sw.add_argument("--jobs", "-j", type=int, default=1,
-                      help="process-pool width for GCoD training runs")
+                      help="process-pool width for GCoD training runs "
+                           "AND the analytic point evaluations")
+    p_sw.add_argument("--objectives", default=None,
+                      help="comma-separated Pareto objectives, e.g. "
+                           "\"speedup,energy,dram\" (default: "
+                           "speedup,accuracy; also: latency, bandwidth)")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="resume an interrupted sweep from its stored "
+                           "manifest (only missing points evaluate)")
     p_sw.add_argument("--format", choices=("markdown", "json", "csv"),
                       default="markdown",
                       help="output format (json/csv write files under "
@@ -415,7 +435,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("action", choices=("ls", "stats", "clear"))
     p_cache.add_argument("--kind", default=None,
                          help="restrict to one artifact kind "
-                              "(graph/gcod/trace/experiment)")
+                              "(graph/gcod/trace/experiment/sweep/"
+                              "manifest)")
     p_cache.set_defaults(func=_cmd_cache)
     return parser
 

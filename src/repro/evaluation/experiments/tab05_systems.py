@@ -43,7 +43,8 @@ def run(context=None) -> ExperimentResult:
     scale_note = (
         "Scale axis: `repro sweep tab05-scale` sweeps the GCoD PE array "
         "over {0.5x, 1x, 2x} in both precisions (32/8 bit) and reports "
-        "the speedup/accuracy frontier."
+        "the speedup/accuracy frontier; add `--objectives "
+        "speedup,energy,dram` for the energy/bandwidth trade-off surface."
     )
     return ExperimentResult(
         name="Tab. V: system configurations",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.hardware import units
 
@@ -36,6 +36,14 @@ class EnergyBreakdown:
             "onchip": self.onchip_j / total,
             "offchip": self.offchip_j / total,
         }
+
+    def components(self) -> Tuple[float, float, float]:
+        """The (compute, onchip, offchip) joules as a plain tuple.
+
+        The stable column order of Fig. 12's phase breakdown — its row
+        builder iterates this instead of re-spelling the attribute order.
+        """
+        return (self.compute_j, self.onchip_j, self.offchip_j)
 
 
 class EnergyModel:

@@ -57,6 +57,18 @@ class EventSimReport:
     events_processed: int
 
     @property
+    def dma_utilization(self) -> float:
+        """Fraction of the simulated span the shared DMA channel was busy.
+
+        The per-tile bandwidth-accounting summary the sweep engine records
+        per design point: near 1.0 means the HBM channel, not the PE
+        array, bounds the aggregation.
+        """
+        if self.cycles <= 0:
+            return 0.0
+        return min(self.dma_busy_cycles / self.cycles, 1.0)
+
+    @property
     def finish_skew(self) -> float:
         """max/mean finish time across denser chunks (1.0 = perfect)."""
         denser = [

@@ -21,6 +21,7 @@ from repro.runtime.keys import (
     gcod_key,
     graph_key,
     stable_hash,
+    sweep_manifest_key,
     sweep_point_key,
     trace_key,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "register_experiment",
     "resolve_experiments",
     "stable_hash",
+    "sweep_manifest_key",
     "sweep_point_key",
     "trace_key",
 ]

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from typing import Dict
 
-_COUNTS: Dict[str, int] = {"gcod_runs": 0, "sweep_point_runs": 0}
+_COUNTS: Dict[str, int] = {
+    "gcod_runs": 0,
+    "sweep_point_runs": 0,
+    "sweep_point_skips": 0,
+}
 
 
 def record_gcod_run() -> None:
@@ -36,6 +40,21 @@ def record_sweep_point_run() -> None:
 def sweep_point_run_count() -> int:
     """Number of sweep points actually evaluated in this process so far."""
     return _COUNTS["sweep_point_runs"]
+
+
+def record_sweep_point_skip() -> None:
+    """Note one sweep design point served from the store (not evaluated).
+
+    The resume guarantee ("only missing points re-run") is asserted as
+    ``runs == missing`` *and* ``skips == done``: both sides of the ledger
+    must add up to the plan, or a point silently fell through.
+    """
+    _COUNTS["sweep_point_skips"] += 1
+
+
+def sweep_point_skip_count() -> int:
+    """Number of sweep points served from the store in this process."""
+    return _COUNTS["sweep_point_skips"]
 
 
 def reset_counters() -> None:

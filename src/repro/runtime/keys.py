@@ -24,7 +24,9 @@ from typing import Any, Dict, Optional, Tuple
 
 #: Version of the cached-artifact schema. Part of every cache key: bumping
 #: it orphans (and therefore invalidates) all previously stored artifacts.
-CODE_SCHEMA_VERSION = 1
+#: v2: SweepPointResult gained the multi-objective metric fields (per-phase
+#: energy breakdowns, DRAM traffic, event-sim cycles).
+CODE_SCHEMA_VERSION = 2
 
 #: Artifact kinds the store recognises (one subdirectory per kind).
 KIND_GRAPH = "graph"
@@ -32,6 +34,7 @@ KIND_GCOD = "gcod"
 KIND_TRACE = "trace"
 KIND_EXPERIMENT = "experiment"
 KIND_SWEEP = "sweep"
+KIND_MANIFEST = "manifest"
 
 
 def jsonable(obj: Any) -> Any:
@@ -185,6 +188,30 @@ def sweep_point_key(
     )
 
 
+def sweep_manifest_key(
+    axes: Any,
+    profile: str,
+    seed: int,
+    kernel_backend: Optional[str],
+    dataset_scales: Dict[str, float],
+) -> ArtifactKey:
+    """Key for a sweep's run manifest (planned/done point digests).
+
+    The manifest's identity is the *grid* plus everything the point keys
+    inherit from the context — deliberately **not** the sweep's registered
+    name, so ``repro sweep ablation-cs --resume`` and an ad-hoc ``--grid``
+    spelling of the same axes resume the same manifest.
+    """
+    return make_key(
+        KIND_MANIFEST,
+        axes=jsonable(axes),
+        profile=profile,
+        seed=seed,
+        kernel_backend=_resolve_backend_name(kernel_backend),
+        dataset_scales=dict(sorted(dataset_scales.items())),
+    )
+
+
 def experiment_key(
     name: str,
     profile: str,
@@ -208,6 +235,7 @@ __all__: Tuple[str, ...] = (
     "KIND_EXPERIMENT",
     "KIND_GCOD",
     "KIND_GRAPH",
+    "KIND_MANIFEST",
     "KIND_SWEEP",
     "KIND_TRACE",
     "ArtifactKey",
@@ -218,6 +246,7 @@ __all__: Tuple[str, ...] = (
     "jsonable",
     "make_key",
     "stable_hash",
+    "sweep_manifest_key",
     "sweep_point_key",
     "trace_key",
 )

@@ -174,6 +174,20 @@ def plan_experiments(
     )
 
 
+def pool_context() -> mp.context.BaseContext:
+    """The multiprocessing context every runtime pool uses.
+
+    fork is cheap (no re-import) but only safe on Linux; macOS system
+    frameworks and BLAS are fork-unsafe (why CPython's macOS default moved
+    to spawn). Shared by the GCoD warming pool and the sweep engine's
+    point-evaluation pool so the two can never drift in start-method
+    semantics.
+    """
+    use_fork = (sys.platform.startswith("linux")
+                and "fork" in mp.get_all_start_methods())
+    return mp.get_context("fork" if use_fork else "spawn")
+
+
 def _execute_task(payload: Tuple[str, GCoDTask]) -> Tuple[str, str]:
     """Pool worker: run one GCoD task and persist it into the store.
 
@@ -256,12 +270,7 @@ def warm_tasks(
         # store miss and regenerate the same graph.
         for dataset in dict.fromkeys(t.dataset for t in tasks):
             context.graph(dataset)
-        # fork is cheap (no re-import) but only safe on Linux; macOS system
-        # frameworks and BLAS are fork-unsafe (why CPython's macOS default
-        # moved to spawn).
-        use_fork = (sys.platform.startswith("linux")
-                    and "fork" in mp.get_all_start_methods())
-        ctx_mp = mp.get_context("fork" if use_fork else "spawn")
+        ctx_mp = pool_context()
         payloads = [(store.root, task) for task in tasks]
         with ctx_mp.Pool(processes=min(jobs, len(tasks))) as pool:
             for dataset, arch in pool.imap_unordered(_execute_task, payloads):

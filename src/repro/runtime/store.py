@@ -80,6 +80,15 @@ class ArtifactStore:
         """True if an entry for ``key`` exists on disk."""
         return os.path.exists(self._data_path(key))
 
+    def contains_digest(self, kind: str, digest: str) -> bool:
+        """True if an entry of ``kind`` with ``digest`` exists on disk.
+
+        Lets a consumer that recorded only digests (a sweep manifest's
+        planned-point list) check membership without rebuilding the full
+        key payloads.
+        """
+        return os.path.exists(os.path.join(self._dir(kind), digest + ".pkl"))
+
     def get(self, key: ArtifactKey) -> Optional[Any]:
         """The stored artifact, or ``None`` on a miss *or* corrupted entry."""
         path = self._data_path(key)

@@ -7,17 +7,27 @@ the way `zigzag`-style DSE loops generalize a single cost-model query:
   GCoD knobs (C, S, sparsity) x quantization bits x kernel backend x
   hardware scale, expanded into content-addressed :class:`SweepPoint`\\ s;
 * :mod:`repro.sweep.engine` — the store-backed plan/execute loop (cached
-  points skip, unique training deps warm across the process pool);
-* :mod:`repro.sweep.aggregate` — long-form tidy tables and the
-  speedup/accuracy Pareto frontier;
+  points skip, unique training deps warm across the process pool, and the
+  point evaluations themselves fan out over ``--jobs`` workers);
+* :mod:`repro.sweep.manifest` — the planned/done ledger behind
+  ``repro sweep --resume``;
+* :mod:`repro.sweep.aggregate` — long-form tidy tables and N-dimensional
+  Pareto frontiers over selectable objectives (``--objectives
+  speedup,energy,dram``);
 * :mod:`repro.sweep.registry` — named sweeps (``ablation-cs``,
-  ``tab05-scale``) discovered by the CLI.
+  ``tab05-scale``, ``fig12-energy``) discovered by the CLI.
 """
 
 from repro.sweep.aggregate import (
+    DEFAULT_OBJECTIVES,
+    METRIC_HEADERS,
+    OBJECTIVES,
+    Objective,
+    dominates,
     long_form_result,
     pareto_frontier,
     pareto_result,
+    resolve_objectives,
     sweep_report_text,
 )
 from repro.sweep.engine import (
@@ -27,6 +37,11 @@ from repro.sweep.engine import (
     execute_sweep,
     plan_sweep,
     run_sweep,
+)
+from repro.sweep.manifest import (
+    SweepManifest,
+    load_manifest,
+    manifest_key,
 )
 from repro.sweep.registry import (
     all_sweeps,
@@ -44,21 +59,30 @@ from repro.sweep.spec import (
 
 __all__ = [
     "AXES",
+    "DEFAULT_OBJECTIVES",
+    "METRIC_HEADERS",
+    "OBJECTIVES",
+    "Objective",
+    "SweepManifest",
     "SweepPlan",
     "SweepPoint",
     "SweepPointResult",
     "SweepRunReport",
     "SweepSpec",
     "all_sweeps",
+    "dominates",
     "execute_sweep",
     "expand",
     "get_sweep",
+    "load_manifest",
     "long_form_result",
+    "manifest_key",
     "pareto_frontier",
     "pareto_result",
     "parse_grid",
     "plan_sweep",
     "register_sweep",
+    "resolve_objectives",
     "run_sweep",
     "sweep_names",
     "sweep_report_text",

@@ -1,18 +1,25 @@
-"""Sweep aggregation: long-form tables and the speedup/accuracy Pareto set.
+"""Sweep aggregation: long-form tables and N-dimensional Pareto frontiers.
 
 The long-form table has one row per grid point — the declared axis
 coordinates first (in axis order), then the canonical metric columns — so
 it loads straight into pandas/R as tidy data via
-:meth:`~repro.evaluation.context.ExperimentResult.to_csv`. The Pareto
-helpers reduce the same results to the designs worth looking at: the
-points no other point beats on *both* speedup (over AWB-GCN) and final
-accuracy.
+:meth:`~repro.evaluation.context.ExperimentResult.to_csv`.
+
+The Pareto helpers reduce the same results to the designs worth looking
+at, under a *selectable objective set* (``--objectives speedup,energy,
+dram``): each :class:`Objective` names a :class:`SweepPointResult` metric
+and whether it is maximized or minimized, and :func:`pareto_frontier`
+computes the non-dominated set under N-dimensional dominance. The default
+pair (speedup over AWB-GCN, accuracy) reproduces the 2-D frontier the
+engine has always reported, byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ConfigError
 from repro.evaluation.context import ExperimentResult
 from repro.sweep.engine import SweepPointResult
 from repro.sweep.spec import SweepSpec
@@ -25,7 +32,134 @@ METRIC_HEADERS = (
     "balance",
     "latency (ms)",
     "energy (mJ)",
+    "dram (MB)",
+    "agg sim kcycles",
+    "dma util",
 )
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One Pareto objective: a point metric plus an optimization sense."""
+
+    name: str
+    #: the :class:`SweepPointResult` attribute holding the metric.
+    attr: str
+    #: +1 to maximize, -1 to minimize.
+    sense: int
+    #: how the frontier's extra text names it (grammar: fits "Pareto-
+    #: optimal on (<describe>, <describe>)").
+    describe: str
+
+    def score(self, result: SweepPointResult) -> float:
+        """The sense-adjusted value: dominance always maximizes scores."""
+        return self.sense * float(getattr(result, self.attr))
+
+
+#: The selectable objectives, keyed by CLI name.
+OBJECTIVES = {
+    obj.name: obj
+    for obj in (
+        Objective("speedup", "speedup_vs_awb", +1, "speedup vs AWB-GCN"),
+        Objective("accuracy", "accuracy", +1, "accuracy"),
+        Objective("energy", "gcod_energy_j", -1, "energy"),
+        Objective("dram", "gcod_dram_bytes", -1, "DRAM traffic"),
+        Objective("latency", "gcod_latency_s", -1, "latency"),
+        Objective("bandwidth", "gcod_required_bw_gbps", -1,
+                  "required bandwidth"),
+    )
+}
+
+#: What the frontier optimizes when no ``--objectives`` is given — the
+#: original 2-D speedup/accuracy frontier.
+DEFAULT_OBJECTIVES: Tuple[str, str] = ("speedup", "accuracy")
+
+ObjectivesLike = Union[None, str, Sequence[Union[str, Objective]]]
+
+
+def resolve_objectives(objectives: ObjectivesLike) -> Tuple[Objective, ...]:
+    """Normalize an objective selection into :class:`Objective` instances.
+
+    Accepts ``None`` (the default pair), a comma-separated CLI string, or a
+    sequence of names/instances. Unknown names raise :class:`ConfigError`
+    naming the known set (the CLI turns that into exit code 2), as do empty
+    and duplicate selections — a repeated objective would silently degrade
+    the frontier to a lower dimension.
+    """
+    if objectives is None:
+        objectives = DEFAULT_OBJECTIVES
+    if isinstance(objectives, str):
+        objectives = [o.strip() for o in objectives.split(",") if o.strip()]
+    resolved: List[Objective] = []
+    for obj in objectives:
+        if isinstance(obj, Objective):
+            resolved.append(obj)
+            continue
+        if obj not in OBJECTIVES:
+            raise ConfigError(
+                f"unknown objective {obj!r}; choose from "
+                f"{', '.join(OBJECTIVES)}"
+            )
+        resolved.append(OBJECTIVES[obj])
+    if not resolved:
+        raise ConfigError(
+            f"--objectives selected nothing; choose from "
+            f"{', '.join(OBJECTIVES)}"
+        )
+    names = [o.name for o in resolved]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"--objectives repeats a name: {', '.join(names)}")
+    return tuple(resolved)
+
+
+def dominates(
+    p: SweepPointResult,
+    q: SweepPointResult,
+    objectives: ObjectivesLike = None,
+) -> bool:
+    """True when ``p`` Pareto-dominates ``q`` under ``objectives``.
+
+    Dominance is the strict product order on sense-adjusted scores: ``p``
+    is at least as good on every objective and strictly better on at least
+    one. It is irreflexive, asymmetric, and transitive — a strict partial
+    order (property-tested in ``tests/sweep/test_pareto_properties.py``).
+    """
+    objs = resolve_objectives(objectives)
+    return _dominates(tuple(o.score(p) for o in objs),
+                      tuple(o.score(q) for o in objs))
+
+
+def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(
+    results: Sequence[SweepPointResult],
+    objectives: ObjectivesLike = None,
+) -> List[SweepPointResult]:
+    """The non-dominated set under the selected objectives.
+
+    A point survives unless another point dominates it; exact ties all
+    survive. The frontier is returned sorted by descending score on the
+    first objective, then the second, ..., then grid order — a
+    deterministic walk along the trade-off surface. The *membership* of
+    the frontier is invariant under permutation of the points and of the
+    objective columns; only this walk order depends on them.
+    """
+    objs = resolve_objectives(objectives)
+    scored = [
+        (i, r, tuple(o.score(r) for o in objs))
+        for i, r in enumerate(results)
+    ]
+    frontier = [
+        (i, r, s)
+        for i, r, s in scored
+        if not any(_dominates(other, s) for _, _, other in scored)
+    ]
+    frontier.sort(key=lambda irs: tuple(-v for v in irs[2]) + (irs[0],))
+    return [r for _, r, _ in frontier]
 
 
 def _metric_cells(r: SweepPointResult) -> tuple:
@@ -38,6 +172,9 @@ def _metric_cells(r: SweepPointResult) -> tuple:
         # as 0.00 under the table's fixed two-decimal float format.
         f"{r.gcod_latency_s * 1e3:.4g}",
         f"{r.gcod_energy_j * 1e3:.4g}",
+        f"{r.gcod_dram_bytes / 2**20:.4g}",
+        f"{r.agg_sim_cycles / 1e3:.4g}",
+        round(r.agg_dma_utilization, 3),
     )
 
 
@@ -65,39 +202,14 @@ def long_form_result(
     )
 
 
-def pareto_frontier(
-    results: Sequence[SweepPointResult],
-) -> List[SweepPointResult]:
-    """The non-dominated set, maximizing (speedup_vs_awb, accuracy).
-
-    A point is dominated when another point is at least as good on both
-    objectives and strictly better on one. Ties (exact duplicates) all
-    survive. The frontier is returned sorted by descending speedup, then
-    descending accuracy, then grid order — a deterministic walk along the
-    trade-off curve.
-    """
-    indexed = list(enumerate(results))
-    frontier = []
-    for i, r in indexed:
-        dominated = any(
-            q.speedup_vs_awb >= r.speedup_vs_awb
-            and q.accuracy >= r.accuracy
-            and (q.speedup_vs_awb > r.speedup_vs_awb
-                 or q.accuracy > r.accuracy)
-            for _, q in indexed
-        )
-        if not dominated:
-            frontier.append((i, r))
-    frontier.sort(key=lambda ir: (-ir[1].speedup_vs_awb,
-                                  -ir[1].accuracy, ir[0]))
-    return [r for _, r in frontier]
-
-
 def pareto_result(
-    spec: SweepSpec, results: Sequence[SweepPointResult]
+    spec: SweepSpec,
+    results: Sequence[SweepPointResult],
+    objectives: ObjectivesLike = None,
 ) -> ExperimentResult:
     """The Pareto frontier as a table (same columns as the long form)."""
-    frontier = pareto_frontier(results)
+    objs = resolve_objectives(objectives)
+    frontier = pareto_frontier(results, objs)
     headers = spec.axis_names + METRIC_HEADERS
     rows = [
         tuple(value for _, value in r.axes) + _metric_cells(r)
@@ -105,7 +217,7 @@ def pareto_result(
     ]
     extra = (
         f"{len(frontier)} of {len(results)} design points are "
-        "Pareto-optimal on (speedup vs AWB-GCN, accuracy)."
+        f"Pareto-optimal on ({', '.join(o.describe for o in objs)})."
     )
     return ExperimentResult(
         name=f"Pareto frontier: {spec.title}",
@@ -116,7 +228,9 @@ def pareto_result(
 
 
 def sweep_report_text(
-    spec: SweepSpec, results: Sequence[SweepPointResult]
+    spec: SweepSpec,
+    results: Sequence[SweepPointResult],
+    objectives: ObjectivesLike = None,
 ) -> str:
     """The printable ``repro sweep`` document: long form + frontier."""
     parts = [f"# Sweep: {spec.name}", ""]
@@ -125,6 +239,6 @@ def sweep_report_text(
     parts += [
         long_form_result(spec, results).render(),
         "",
-        pareto_result(spec, results).render(),
+        pareto_result(spec, results, objectives).render(),
     ]
     return "\n".join(parts) + "\n"

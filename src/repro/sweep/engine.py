@@ -1,4 +1,4 @@
-"""Store-backed sweep execution: plan, warm, evaluate, aggregate.
+"""Store-backed sweep execution: plan, warm, evaluate (in parallel), resume.
 
 The engine mirrors the plan/execute split of :mod:`repro.runtime.runner`:
 
@@ -8,17 +8,25 @@ The engine mirrors the plan/execute split of :mod:`repro.runtime.runner`:
    remaining points' GCoD training dependencies — points that differ only
    in platform axes (``bits``, ``hw_scale``) or report coordinates share
    one trained pipeline.
-2. **Execute** — warm the unique training runs (across the PR-3 process
-   pool when ``jobs > 1``), then evaluate every point *in grid order* in
-   the parent: train-or-load the pipeline, cost the design on the analytic
-   platform models, persist the metrics. Evaluation order is fixed and the
-   platform models are deterministic, so ``--jobs N`` output is
-   byte-identical to serial, and a warm rerun byte-identical to a cold one.
+2. **Execute** — warm the unique training runs (across the process pool
+   when ``jobs > 1``), then evaluate the points. With ``jobs > 1`` and a
+   store attached the *point evaluations themselves* fan out across the
+   pool: each is a pure function of stored artifacts (the trained
+   pipeline, the generated graph, the analytic platform models), workers
+   persist their results straight into the store, and the parent collects
+   in grid order — so ``--jobs N`` output is byte-identical to serial,
+   just faster. A :class:`~repro.sweep.manifest.SweepManifest` opened at
+   execute time records planned/done point keys; an interrupted sweep
+   (worker :class:`GCoDTaskError`, SIGINT) resumes with ``repro sweep
+   --resume``, re-running only the missing points.
 
-Per-point metrics follow Sec. VI-C: speedup over AWB-GCN and bandwidth
-reduction vs HyGCN on the same (paper-scale) workload, plus accuracy,
-intra-class balance, latency, and energy of the GCoD variant selected by
-the ``bits``/``hw_scale`` axes.
+Per-point metrics are multi-objective, following Figs. 10-12: speedup over
+AWB-GCN and bandwidth reduction vs HyGCN on the same (paper-scale)
+workload, plus accuracy, intra-class balance, latency, the full per-phase
+energy breakdown (:mod:`repro.hardware.energy`), total DRAM traffic, and
+the event-driven aggregation schedule's cycle count and DMA-channel
+utilization (:mod:`repro.hardware.event_sim`) of the GCoD variant selected
+by the ``bits``/``hw_scale`` axes.
 """
 
 from __future__ import annotations
@@ -27,10 +35,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
+from repro.hardware.energy import EnergyBreakdown
 from repro.runtime import counters
 from repro.runtime.keys import ArtifactKey
-from repro.runtime.runner import GCoDTask, warm_tasks
+from repro.runtime.runner import (
+    GCoDTask,
+    GCoDTaskError,
+    pool_context,
+    warm_tasks,
+)
 from repro.runtime.store import ArtifactStore
+from repro.sweep.manifest import (
+    SweepManifest,
+    begin_manifest,
+    load_manifest,
+    write_manifest,
+)
 from repro.sweep.spec import SweepPoint, SweepSpec, expand
 
 
@@ -58,6 +79,16 @@ class SweepPointResult:
     gcod_required_bw_gbps: float
     hygcn_required_bw_gbps: float
     gcod_energy_j: float
+    #: total off-chip (DRAM) traffic of one GCoD inference, in bytes.
+    gcod_dram_bytes: float
+    #: per-phase energy breakdowns (compute/on-chip/off-chip joules), the
+    #: way Fig. 12 splits them.
+    comb_energy: EnergyBreakdown
+    agg_energy: EnergyBreakdown
+    #: event-driven aggregation schedule: total cycles and the fraction of
+    #: them the shared DMA channel was busy (per-tile accounting).
+    agg_sim_cycles: float
+    agg_dma_utilization: float
 
     def coord(self, axis: str, default: Any = None) -> Any:
         for name, value in self.axes:
@@ -72,6 +103,8 @@ class SweepPointResult:
             "arch": self.arch,
             "speedup_vs_awb": round(float(self.speedup_vs_awb), 4),
             "accuracy": round(float(self.accuracy), 4),
+            "energy_mj": round(float(self.gcod_energy_j) * 1e3, 4),
+            "dram_mb": round(float(self.gcod_dram_bytes) / 2**20, 4),
             "bits": self.bits,
             "hw_scale": self.hw_scale,
         }
@@ -201,6 +234,34 @@ class _PointEvaluator:
         self._gcod[key.digest] = result
         return result
 
+    @staticmethod
+    def _simulate_aggregation(workload, result, platform):
+        """Event-sim the aggregation schedule of the point's own layout.
+
+        The tiles are the layout's measured per-subgraph workloads —
+        per-tile DMA/MAC accounting, not the analytic closed form — run at
+        the PE count the ``bits``/``hw_scale`` axes selected.
+        """
+        from repro.hardware.event_sim import simulate_aggregation
+
+        agg_dim = next(
+            (layer.aggregation_dim for layer in workload.layers
+             if layer.aggregate),
+            0,
+        )
+        if not agg_dim:
+            return None  # no aggregation phase: nothing to schedule
+        sub_workloads = result.layout.subgraph_workloads(
+            result.final_graph.adj
+        )
+        sub_classes = [s.class_id for s in result.layout.spans]
+        return simulate_aggregation(
+            workload,
+            agg_dim=agg_dim,
+            total_pes=platform.pes.num_pes,
+            layout_tiles=(sub_workloads, sub_classes),
+        )
+
     def evaluate(self, point: SweepPoint) -> SweepPointResult:
         """Compute one point's metrics (the expensive, counted path)."""
         from repro.hardware import extract_workload
@@ -211,7 +272,9 @@ class _PointEvaluator:
         wl = extract_workload(
             result.final_graph, result.layout, point.arch, paper_scale=True
         )
-        report = self._gcod_platform(point.bits, point.hw_scale).run(wl)
+        platform = self._gcod_platform(point.bits, point.hw_scale)
+        report = platform.run(wl)
+        sim = self._simulate_aggregation(wl, result, platform)
         speedup = awb.latency_s / report.latency_s
         bw_red = 1.0 - report.required_bandwidth_gbps / max(
             hygcn.required_bandwidth_gbps, 1e-9
@@ -237,7 +300,119 @@ class _PointEvaluator:
             gcod_required_bw_gbps=float(report.required_bandwidth_gbps),
             hygcn_required_bw_gbps=float(hygcn.required_bandwidth_gbps),
             gcod_energy_j=float(report.energy.total_j),
+            gcod_dram_bytes=float(report.offchip_bytes),
+            comb_energy=report.combination.energy,
+            agg_energy=report.aggregation.energy,
+            agg_sim_cycles=float(sim.cycles) if sim is not None else 0.0,
+            agg_dma_utilization=(
+                float(sim.dma_utilization) if sim is not None else 0.0
+            ),
         )
+
+
+def _point_error(point: SweepPoint, exc: Exception) -> GCoDTaskError:
+    """The one wrapping for point-evaluation failures (tests match on it)."""
+    return GCoDTaskError(
+        f"sweep point ({point.label()}) failed: "
+        f"{type(exc).__name__}: {exc}"
+    )
+
+
+#: Per-process evaluator cache for pool workers, keyed by the context
+#: signature. A worker evaluates many points of one sweep; rebuilding the
+#: context per point would re-unpickle the trained pipeline and recompute
+#: the baselines every time — the memoized evaluator makes the worker's
+#: marginal per-point cost equal to the serial path's.
+_WORKER_EVALUATORS: Dict[tuple, "_PointEvaluator"] = {}
+
+
+def _worker_evaluator(root, profile, seed, backend, scales):
+    from repro.evaluation.context import EvalContext
+
+    signature = (root, profile, seed, backend, tuple(sorted(scales.items())))
+    evaluator = _WORKER_EVALUATORS.get(signature)
+    if evaluator is None:
+        ctx = EvalContext(
+            profile=profile, seed=seed, kernel_backend=backend,
+            store=ArtifactStore(root),
+        )
+        ctx.dataset_scales = dict(scales)
+        evaluator = _WORKER_EVALUATORS[signature] = _PointEvaluator(ctx)
+    return evaluator
+
+
+def _evaluate_point_worker(payload) -> Tuple[str, bool]:
+    """Pool worker: evaluate one design point and persist it to the store.
+
+    Points are pure functions of stored artifacts — the warmed pipeline,
+    the generated graph, the deterministic platform models — so a worker
+    computes exactly the result the serial path would. Returns the point
+    label and whether it actually evaluated (a stored entry is skipped, so
+    a resumed pooled sweep never re-runs a finished point).
+    """
+    root, profile, seed, backend, scales, point = payload
+    from repro.sparse.kernels import set_default_backend
+
+    try:
+        # Resolved in the parent; pin it process-wide so a spawn-started
+        # worker sees the same default-backend environment a fork child
+        # inherits.
+        set_default_backend(backend)
+        evaluator = _worker_evaluator(root, profile, seed, backend, scales)
+        store: ArtifactStore = evaluator.context.store
+        key = point.key()
+        if store.contains(key):
+            return point.label(), False
+        result = evaluator.evaluate(point)
+        store.put(key, result, summary=result.to_summary_dict())
+    except GCoDTaskError:
+        raise
+    except Exception as exc:
+        raise _point_error(point, exc) from exc
+    return point.label(), True
+
+
+def _evaluate_points_pooled(
+    plan: SweepPlan,
+    context,
+    pending: List[int],
+    jobs: int,
+    report: SweepRunReport,
+    say,
+) -> None:
+    """Fan the pending point evaluations across a process pool."""
+    store: ArtifactStore = context.store
+    backend = context._backend_name()
+    # Pre-warm the graphs every pending point's baselines need: otherwise
+    # each worker sharing a dataset would race the store miss and
+    # regenerate the same graph.
+    for dataset in dict.fromkeys(plan.points[i].dataset for i in pending):
+        context.graph(dataset)
+    payloads = [
+        (
+            store.root,
+            context.profile,
+            context.seed,
+            backend,
+            dict(context.dataset_scales),
+            plan.points[i],
+        )
+        for i in pending
+    ]
+    say(f"evaluating {len(pending)} point(s) with jobs={jobs}")
+    processes = min(jobs, len(pending))
+    # Contiguous chunks: grid order keeps platform-axis variants of one
+    # trained pipeline adjacent, so chunking bounds how many stored
+    # GCoDResults each worker must unpickle (the dominant per-worker
+    # cost at real graph scales).
+    chunksize = max(1, -(-len(payloads) // processes))
+    with pool_context().Pool(processes=processes) as pool:
+        for label, evaluated in pool.imap_unordered(
+            _evaluate_point_worker, payloads, chunksize=chunksize
+        ):
+            if evaluated:
+                report.points_evaluated += 1
+                say(f"  evaluated ({label})")
 
 
 def execute_sweep(
@@ -257,32 +432,63 @@ def execute_sweep(
         tasks_executed=len(plan.tasks),
     )
 
-    if jobs > 1 and store is not None and len(plan.tasks) > 1:
+    cached_set = set(plan.cached)
+    pending = [i for i in range(len(plan.points)) if i not in cached_set]
+    pool_points = jobs > 1 and store is not None and len(pending) > 1
+
+    manifest: Optional[SweepManifest] = None
+    if store is not None:
+        # The ledger resume reads: written before any evaluation, so even
+        # a sweep killed at point 1 of N leaves its plan behind.
+        manifest = begin_manifest(
+            store, context, plan.spec, plan.points, plan.keys
+        )
+
+    if jobs > 1 and store is not None:
         # warm_tasks is task-faithful on every path; pooling it here is
-        # purely a parallelism win. Serial runs skip it and let each
-        # point train lazily in _gcod_result (no store round-trip).
+        # purely a parallelism win. It must cover *all* tasks before a
+        # pooled evaluation starts, or workers sharing a pipeline would
+        # race to train it.
         warm_tasks(plan.tasks, context, jobs=jobs, progress=progress)
     elif plan.tasks:
         say(f"{len(plan.tasks)} GCoD run(s) will train inline")
 
-    cached_set = set(plan.cached)
-    evaluator = _PointEvaluator(context)
-    for i, point in enumerate(plan.points):
-        result = None
-        if i in cached_set:
-            result = store.get(plan.keys[i])
-            if result is not None:
-                report.cache_hits.append(i)
-            # a corrupted entry degrades to a recompute below
-        if result is None:
-            result = evaluator.evaluate(point)
-            report.points_evaluated += 1
-            if store is not None:
-                store.put(plan.keys[i], result,
-                          summary=result.to_summary_dict())
-            say(f"  [{i + 1}/{len(plan.points)}] {point.label()}: "
-                f"{result.speedup_vs_awb:.2f}x vs AWB-GCN")
-        report.results.append(result)
+    try:
+        if pool_points:
+            _evaluate_points_pooled(plan, context, pending, jobs, report, say)
+
+        evaluator = _PointEvaluator(context)
+        for i, point in enumerate(plan.points):
+            result = None
+            if store is not None and (i in cached_set or pool_points):
+                result = store.get(plan.keys[i])
+                if result is not None and i in cached_set:
+                    report.cache_hits.append(i)
+                    counters.record_sweep_point_skip()
+                # a corrupted/missing entry degrades to a recompute below
+            if result is None:
+                try:
+                    result = evaluator.evaluate(point)
+                except GCoDTaskError:
+                    raise
+                except Exception as exc:
+                    raise _point_error(point, exc) from exc
+                report.points_evaluated += 1
+                if store is not None:
+                    store.put(plan.keys[i], result,
+                              summary=result.to_summary_dict())
+                say(f"  [{i + 1}/{len(plan.points)}] {point.label()}: "
+                    f"{result.speedup_vs_awb:.2f}x vs AWB-GCN")
+            if manifest is not None and plan.keys[i].digest not in \
+                    manifest.done:
+                manifest.done.append(plan.keys[i].digest)
+            report.results.append(result)
+    finally:
+        if manifest is not None:
+            # Recompute from store membership: workers may have completed
+            # points this process never collected before an interruption.
+            manifest.refresh(store)
+            write_manifest(store, context, plan.spec, manifest)
 
     report.gcod_runs = counters.gcod_run_count() - runs_before
     report.wall_s = time.perf_counter() - t0
@@ -294,9 +500,44 @@ def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     progress=None,
+    resume: bool = False,
 ) -> SweepRunReport:
-    """Plan then execute in one call; the ``repro sweep`` entry point."""
+    """Plan then execute in one call; the ``repro sweep`` entry point.
+
+    ``resume=True`` requires a stored manifest for this (context, grid):
+    the sweep then evaluates exactly the manifest's missing points (the
+    plan's store check skips everything already done). Without a manifest
+    — or without a store — resume refuses loudly rather than silently
+    starting a fresh sweep.
+    """
+    say = progress or (lambda msg: None)
+    if resume:
+        store: Optional[ArtifactStore] = context.store
+        if store is None:
+            raise ConfigError(
+                "--resume needs the artifact store; drop --no-cache"
+            )
+        manifest = load_manifest(store, context, spec)
+        if manifest is None:
+            raise ConfigError(
+                f"nothing to resume: no manifest for sweep {spec.name!r} "
+                f"in {store.root} (run it once without --resume first)"
+            )
+        missing = manifest.missing_indices(store)
+        say(
+            f"resuming sweep {spec.name}: "
+            f"{len(manifest.planned) - len(missing)}/"
+            f"{len(manifest.planned)} points done, "
+            f"{len(missing)} to evaluate"
+        )
     plan = plan_sweep(context, spec)
+    if resume and plan.keys and [k.digest for k in plan.keys] != \
+            manifest.planned:
+        raise ConfigError(
+            f"the stored manifest for sweep {spec.name!r} names different "
+            "points than this invocation plans (code, schema, or context "
+            "changed); rerun without --resume"
+        )
     if progress:
         progress(plan.describe())
     return execute_sweep(plan, context, jobs=jobs, progress=progress)

@@ -40,12 +40,16 @@ def sweep_names() -> Tuple[str, ...]:
 
 def get_sweep(name: str) -> SweepSpec:
     """The spec registered under ``name`` (raises UnknownSweepError)."""
+    import difflib
+
     _ensure_populated()
     try:
         return _REGISTRY[name]
     except KeyError:
+        close = difflib.get_close_matches(name, _REGISTRY, n=1, cutoff=0.6)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise UnknownSweepError(
-            f"unknown sweep {name!r}; choose from "
+            f"unknown sweep {name!r}{hint}; choose from "
             f"{', '.join(sorted(_REGISTRY)) or '(none registered)'}"
         ) from None
 

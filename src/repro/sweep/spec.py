@@ -74,6 +74,30 @@ AXES: Dict[str, AxisDef] = {
 }
 
 
+def unknown_axis_error(axis_name: str) -> ConfigError:
+    """The one error every axis-validation site raises for a bad name.
+
+    Names the full known-axis list (the CLI turns this into exit code 2)
+    and suggests the near-miss when the typo is a case slip (``c=1,2``)
+    or one edit away (``hwscale``) — the two ways a ``--grid`` string
+    actually goes wrong.
+    """
+    import difflib
+
+    suggestion = ""
+    by_fold = {name.casefold(): name for name in AXES}
+    close = by_fold.get(axis_name.casefold()) or next(
+        iter(difflib.get_close_matches(axis_name, AXES, n=1, cutoff=0.6)),
+        None,
+    )
+    if close:
+        suggestion = f" (did you mean {close!r}?)"
+    return ConfigError(
+        f"unknown sweep axis {axis_name!r}{suggestion}; choose from "
+        f"{', '.join(AXES)}"
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class SweepSpec:
     """A named grid over the design space.
@@ -98,10 +122,7 @@ class SweepSpec:
         normalized = []
         for axis_name, values in items:
             if axis_name not in AXES:
-                raise ConfigError(
-                    f"unknown sweep axis {axis_name!r}; choose from "
-                    f"{', '.join(AXES)}"
-                )
+                raise unknown_axis_error(axis_name)
             axis = AXES[axis_name]
             values = tuple(axis.coerce(v) for v in values)
             if not values:
@@ -198,10 +219,7 @@ def parse_grid(text: str) -> Dict[str, Tuple[Any, ...]]:
         axis_name, _, values = clause.partition("=")
         axis_name = axis_name.strip()
         if axis_name not in AXES:
-            raise ConfigError(
-                f"unknown sweep axis {axis_name!r}; choose from "
-                f"{', '.join(AXES)}"
-            )
+            raise unknown_axis_error(axis_name)
         if axis_name in axes:
             raise ConfigError(f"axis {axis_name!r} appears twice in --grid")
         axis = AXES[axis_name]

@@ -52,6 +52,54 @@ def test_malformed_grid_exits_2(capsys):
     assert "axis 'C'" in err
 
 
+def test_typo_axis_exits_2_with_known_axes(capsys):
+    """A typo'd axis (lowercase `c`) must exit 2, list the known axes,
+    and suggest the near-miss — never run a partial grid."""
+    code, _, err = run_cli(["sweep", "--grid", "c=1,2"], capsys)
+    assert code == 2
+    assert "unknown sweep axis 'c'" in err
+    assert "did you mean 'C'?" in err
+    assert "dataset, arch, C, S, sparsity, bits, kernel_backend, hw_scale" \
+        in err
+
+    code, _, err = run_cli(["sweep", "--grid", "C=1;hwscale=2"], capsys)
+    assert code == 2
+    assert "did you mean 'hw_scale'?" in err
+
+
+def test_unknown_objectives_exit_2(capsys):
+    code, _, err = run_cli(
+        ["sweep", "--grid", "C=1", "--objectives", "speed,energy"], capsys
+    )
+    assert code == 2
+    assert "unknown objective 'speed'" in err
+    assert "choose from" in err
+
+
+def test_resume_without_manifest_exits_2(tmp_path, capsys):
+    code, _, err = run_cli(
+        ["--cache-dir", str(tmp_path), "sweep", "--grid", "C=1",
+         "--resume"],
+        capsys,
+    )
+    assert code == 2
+    assert "nothing to resume" in err
+
+
+def test_resume_without_store_exits_2(capsys):
+    code, _, err = run_cli(
+        ["--no-cache", "sweep", "--grid", "C=1", "--resume"], capsys
+    )
+    assert code == 2
+    assert "drop --no-cache" in err
+
+
+def test_unknown_sweep_name_suggests_near_miss(capsys):
+    code, _, err = run_cli(["sweep", "ablation-sc"], capsys)
+    assert code == 2
+    assert "did you mean 'ablation-cs'?" in err
+
+
 def test_json_format_requires_out(capsys):
     code, _, err = run_cli(["sweep", "--grid", "C=1", "--format", "json"],
                            capsys)
@@ -88,6 +136,7 @@ def test_grid_sweep_markdown_then_warm_json_csv(tmp_path, capsys):
     payload = json.loads((out_dir / "custom.json").read_text())
     assert payload["sweep"] == "custom"
     assert payload["axes"]["bits"] == [32, 8]
+    assert payload["objectives"] == ["speedup", "accuracy"]
     assert len(payload["table"]["rows"]) == 4
     assert payload["table"]["headers"][:5] == [
         "dataset", "C", "S", "bits", "hw_scale"
@@ -95,6 +144,26 @@ def test_grid_sweep_markdown_then_warm_json_csv(tmp_path, capsys):
     assert 1 <= len(payload["pareto"]["rows"]) <= 4
     # volatile run accounting must not leak into the artifact files
     assert "wall" not in json.dumps(payload)
+
+    # a multi-objective frontier over the same (warm) grid
+    code, out3, err3 = run_cli(
+        base + ["sweep", "--grid", GRID,
+                "--objectives", "speedup,energy,dram"],
+        capsys,
+    )
+    assert code == 0
+    assert "Pareto-optimal on (speedup vs AWB-GCN, energy, DRAM traffic)." \
+        in out3
+    assert counters.gcod_run_count() == 0  # objectives are a render knob
+
+    # --resume on a completed sweep: all cache hits, identical stdout
+    counters.reset_counters()
+    code, out4, err4 = run_cli(base + ["sweep", "--grid", GRID, "--resume"],
+                               capsys)
+    assert code == 0
+    assert out4 == out
+    assert counters.sweep_point_run_count() == 0
+    assert "4/4 points done, 0 to evaluate" in err4
 
     code, _, _ = run_cli(
         base + ["sweep", "--grid", GRID, "--format", "csv",

@@ -110,12 +110,14 @@ def test_warm_sweep_zero_training_and_identical_bytes(cold_sweep):
 
 def test_parallel_sweep_byte_identical_to_serial(cold_sweep, tmp_path):
     _, cold_text = cold_sweep
-    store = ArtifactStore(str(tmp_path / "sweep-jobs2"))
+    store = ArtifactStore(str(tmp_path / "sweep-jobs4"))
     counters.reset_counters()
-    report = run_sweep(micro_ctx(store), ACCEPTANCE_SPEC, jobs=2)
-    # pool workers trained in their own processes; the parent ran nothing
+    report = run_sweep(micro_ctx(store), ACCEPTANCE_SPEC, jobs=4)
+    # pool workers trained AND evaluated in their own processes; the
+    # parent ran nothing and collected everything from the store.
     assert counters.gcod_run_count() == 0
-    assert counters.sweep_point_run_count() == 24  # metrics in the parent
+    assert counters.sweep_point_run_count() == 0
+    assert report.points_evaluated == 24  # aggregated from the workers
     assert sweep_report_text(ACCEPTANCE_SPEC, report.results) == cold_text
 
 

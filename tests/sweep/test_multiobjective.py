@@ -1,0 +1,135 @@
+"""Multi-objective point metrics: fig12 parity, objectives, frontiers.
+
+The headline parity: rendering Fig. 12's energy columns *through the
+sweep engine* (stored per-phase breakdowns) must match the legacy
+experiment loop exactly — and the sweep's DRAM column must equal the
+off-chip byte count the platform model reports directly.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluation import EvalContext
+from repro.evaluation.experiments import fig12_energy
+from repro.runtime.store import ArtifactStore
+from repro.sweep import (
+    SweepSpec,
+    pareto_frontier,
+    pareto_result,
+    resolve_objectives,
+    run_sweep,
+)
+
+MICRO_SCALES = {"cora": 0.06, "citeseer": 0.05}
+MODELS = ("gcn", "gin")
+DATASETS = ("cora", "citeseer")
+
+
+def micro_ctx(store=None):
+    ctx = EvalContext(profile="fast", store=store)
+    ctx.dataset_scales = dict(MICRO_SCALES)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def shared_store(tmp_path_factory):
+    return ArtifactStore(str(tmp_path_factory.mktemp("fig12-parity")))
+
+
+@pytest.fixture(scope="module")
+def legacy_fig12(shared_store):
+    """The legacy direct loop, trained into the shared store."""
+    return fig12_energy.run(micro_ctx(shared_store), models=MODELS,
+                            datasets=DATASETS)
+
+
+@pytest.fixture(scope="module")
+def sweep_report(shared_store):
+    """The same grid through the sweep engine (shares the trained runs)."""
+    spec = fig12_energy.energy_sweep_spec(models=MODELS, datasets=DATASETS)
+    return run_sweep(micro_ctx(shared_store), spec, jobs=1)
+
+
+# ----------------------------------------------------------------------
+# fig12 parity: energy and DRAM columns through the sweep engine
+# ----------------------------------------------------------------------
+def test_fig12_energy_rows_match_legacy_exactly(legacy_fig12, sweep_report):
+    assert fig12_energy.rows_from_sweep(sweep_report.results) == \
+        legacy_fig12.rows
+
+
+def test_fig12_sweep_reuses_legacy_training(sweep_report):
+    # the (dataset, arch) pipelines were already stored by the legacy run
+    assert sweep_report.tasks_executed == 0
+
+
+def test_dram_column_matches_platform_model(shared_store, sweep_report):
+    ctx = micro_ctx(shared_store)
+    gcod = ctx.platforms()["gcod"]
+    for point in sweep_report.results:
+        report = gcod.run(ctx.gcod_workload(point.dataset, point.arch))
+        assert point.gcod_dram_bytes == report.offchip_bytes
+        assert point.gcod_energy_j == report.energy.total_j
+
+
+def test_registered_fig12_sweep_covers_the_paper_grid():
+    assert fig12_energy.ENERGY_SWEEP.name == "fig12-energy"
+    assert fig12_energy.ENERGY_SWEEP.num_points == len(
+        fig12_energy.MODELS
+    ) * len(fig12_energy.DATASETS)
+
+
+# ----------------------------------------------------------------------
+# the new point metrics are populated and self-consistent
+# ----------------------------------------------------------------------
+def test_point_metrics_are_multi_objective(sweep_report):
+    for r in sweep_report.results:
+        assert r.gcod_dram_bytes > 0
+        assert r.gcod_energy_j == pytest.approx(
+            r.comb_energy.total_j + r.agg_energy.total_j, rel=1e-12
+        )
+        assert r.agg_sim_cycles > 0
+        assert 0.0 <= r.agg_dma_utilization <= 1.0
+
+
+# ----------------------------------------------------------------------
+# selectable objective sets
+# ----------------------------------------------------------------------
+def test_unknown_objective_names_the_known_set():
+    with pytest.raises(ConfigError, match="unknown objective 'speed'"):
+        resolve_objectives("speed,energy")
+    with pytest.raises(ConfigError, match="choose from"):
+        resolve_objectives("nope")
+
+
+def test_duplicate_and_empty_objectives_refused():
+    with pytest.raises(ConfigError, match="repeats"):
+        resolve_objectives("speedup,speedup")
+    with pytest.raises(ConfigError, match="selected nothing"):
+        resolve_objectives(" , ")
+
+
+def test_three_objective_frontier_is_sound(sweep_report):
+    from repro.sweep import dominates
+
+    objs = ("speedup", "energy", "dram")
+    frontier = pareto_frontier(sweep_report.results, objs)
+    assert 0 < len(frontier) <= len(sweep_report.results)
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b, objs)
+    ids = {id(r) for r in frontier}
+    for r in sweep_report.results:
+        if id(r) not in ids:
+            assert any(dominates(f, r, objs) for f in frontier)
+
+
+def test_default_pareto_text_names_the_default_pair(sweep_report):
+    spec = fig12_energy.energy_sweep_spec(models=MODELS, datasets=DATASETS)
+    result = pareto_result(spec, sweep_report.results)
+    assert "Pareto-optimal on (speedup vs AWB-GCN, accuracy)." in \
+        result.extra_text
+    multi = pareto_result(spec, sweep_report.results,
+                          objectives="speedup,energy,dram")
+    assert "Pareto-optimal on (speedup vs AWB-GCN, energy, DRAM " \
+        "traffic)." in multi.extra_text

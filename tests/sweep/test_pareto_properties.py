@@ -1,0 +1,142 @@
+"""Property tier for the N-D Pareto frontier (hypothesis).
+
+The frontier feeds design decisions, so its math must hold for *any*
+point cloud and *any* objective subset, not just the grids our
+experiments happen to produce:
+
+* strict dominance is a strict partial order (irreflexive, asymmetric,
+  transitive);
+* frontier membership is invariant under permutation of the points and
+  of the objective columns;
+* no frontier point dominates another frontier point, and every excluded
+  point is dominated by some frontier point (soundness + completeness).
+
+Uses hypothesis when available and skips cleanly otherwise (the CI image
+installs it).
+"""
+
+import dataclasses
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sweep.aggregate import (  # noqa: E402
+    OBJECTIVES,
+    dominates,
+    pareto_frontier,
+    resolve_objectives,
+)
+
+
+@dataclasses.dataclass
+class FakePoint:
+    """Just the metric attributes the objectives read."""
+
+    speedup_vs_awb: float
+    accuracy: float
+    gcod_energy_j: float
+    gcod_dram_bytes: float
+    gcod_latency_s: float
+    gcod_required_bw_gbps: float
+
+
+#: Mix a coarse integer lattice into the floats so ties and exact
+#: duplicates — the degenerate frontier cases — actually get generated.
+metric = st.one_of(
+    st.integers(0, 3).map(float),
+    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+points = st.builds(FakePoint, metric, metric, metric, metric, metric, metric)
+point_lists = st.lists(points, min_size=1, max_size=16)
+objective_sets = st.lists(
+    st.sampled_from(sorted(OBJECTIVES)), min_size=1, max_size=4, unique=True
+).map(tuple)
+
+
+@settings(max_examples=150, deadline=None)
+@given(p=points, objs=objective_sets)
+def test_dominance_is_irreflexive(p, objs):
+    assert not dominates(p, p, objs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(p=points, q=points, objs=objective_sets)
+def test_dominance_is_asymmetric(p, q, objs):
+    assert not (dominates(p, q, objs) and dominates(q, p, objs))
+
+
+@settings(max_examples=150, deadline=None)
+@given(p=points, q=points, r=points, objs=objective_sets)
+def test_dominance_is_transitive(p, q, r, objs):
+    if dominates(p, q, objs) and dominates(q, r, objs):
+        assert dominates(p, r, objs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pts=point_lists, objs=objective_sets)
+def test_no_frontier_point_dominates_another(pts, objs):
+    frontier = pareto_frontier(pts, objs)
+    assert frontier  # a non-empty finite poset has maximal elements
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b, objs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pts=point_lists, objs=objective_sets)
+def test_every_excluded_point_is_dominated(pts, objs):
+    frontier = pareto_frontier(pts, objs)
+    frontier_ids = {id(p) for p in frontier}
+    for p in pts:
+        if id(p) not in frontier_ids:
+            assert any(dominates(f, p, objs) for f in frontier)
+
+
+@st.composite
+def lists_with_permutation(draw):
+    pts = draw(point_lists)
+    return pts, draw(st.permutations(pts))
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=lists_with_permutation(), objs=objective_sets)
+def test_frontier_invariant_under_point_permutation(pair, objs):
+    pts, shuffled = pair
+    assert {id(p) for p in pareto_frontier(pts, objs)} == {
+        id(p) for p in pareto_frontier(shuffled, objs)
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pts=point_lists,
+    objs=objective_sets.filter(lambda o: len(o) > 1),
+    data=st.data(),
+)
+def test_frontier_invariant_under_objective_permutation(pts, objs, data):
+    shuffled_objs = data.draw(st.permutations(list(objs)))
+    assert {id(p) for p in pareto_frontier(pts, objs)} == {
+        id(p) for p in pareto_frontier(pts, tuple(shuffled_objs))
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(pts=point_lists)
+def test_single_objective_frontier_is_the_argmax_set(pts):
+    frontier = pareto_frontier(pts, ("speedup",))
+    best = max(p.speedup_vs_awb for p in pts)
+    assert all(p.speedup_vs_awb == best for p in frontier)
+    assert len(frontier) == sum(
+        1 for p in pts if p.speedup_vs_awb == best
+    )
+
+
+def test_resolve_objectives_accepts_all_forms():
+    default = resolve_objectives(None)
+    assert tuple(o.name for o in default) == ("speedup", "accuracy")
+    from_string = resolve_objectives("speedup, energy ,dram")
+    assert tuple(o.name for o in from_string) == ("speedup", "energy",
+                                                  "dram")
+    assert resolve_objectives(from_string) == from_string

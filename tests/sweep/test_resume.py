@@ -1,0 +1,182 @@
+"""Failure-injection tier: interrupted sweeps resume exactly.
+
+The acceptance contract (ISSUE 5): kill a 24-point sweep after 8 points,
+and the stored manifest must name exactly the 16 missing points;
+``--resume`` must evaluate exactly those 16 (counter-asserted on both
+sides of the ledger: 16 runs, 8 skips) and produce output byte-identical
+to an uninterrupted run. A pooled variant kills a *worker* mid-grid and
+asserts the same end state.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluation import EvalContext
+from repro.runtime import counters
+from repro.runtime.runner import GCoDTaskError
+from repro.runtime.store import ArtifactStore
+from repro.sweep import (
+    SweepSpec,
+    load_manifest,
+    run_sweep,
+    sweep_report_text,
+)
+from repro.sweep import engine as eng
+from repro.sweep.manifest import manifest_key, write_manifest
+
+MICRO_SCALES = {"cora": 0.06, "citeseer": 0.05}
+
+#: 24 points, 4 unique training configs (platform axes share pipelines).
+SPEC = SweepSpec(
+    name="resume-grid",
+    title="resume grid",
+    axes={
+        "C": (1, 2),
+        "S": (2, 3),
+        "bits": (32, 8),
+        "hw_scale": (0.5, 1.0, 2.0),
+    },
+)
+
+
+def micro_ctx(store=None):
+    ctx = EvalContext(profile="fast", store=store)
+    ctx.dataset_scales = dict(MICRO_SCALES)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def reference_text(tmp_path_factory):
+    """The bytes of an uninterrupted serial run of SPEC."""
+    root = str(tmp_path_factory.mktemp("resume-ref"))
+    report = run_sweep(micro_ctx(ArtifactStore(root)), SPEC, jobs=1)
+    return sweep_report_text(SPEC, report.results)
+
+
+def test_interrupted_sweep_resumes_exactly(tmp_path, monkeypatch,
+                                           reference_text):
+    store = ArtifactStore(str(tmp_path))
+    ctx = micro_ctx(store)
+
+    # ------------------------------------------------------------------
+    # kill the sweep after 8 evaluated points
+    # ------------------------------------------------------------------
+    real_evaluate = eng._PointEvaluator.evaluate
+    evaluated = []
+
+    def dying_evaluate(self, point):
+        if len(evaluated) >= 8:
+            raise RuntimeError("power cut after 8 points")
+        evaluated.append(point.label())
+        return real_evaluate(self, point)
+
+    monkeypatch.setattr(eng._PointEvaluator, "evaluate", dying_evaluate)
+    with pytest.raises(GCoDTaskError, match="power cut after 8 points"):
+        run_sweep(ctx, SPEC, jobs=1)
+    monkeypatch.undo()
+
+    # ------------------------------------------------------------------
+    # the manifest names exactly the 16 missing points
+    # ------------------------------------------------------------------
+    fresh = micro_ctx(store)
+    manifest = load_manifest(store, fresh, SPEC)
+    assert manifest is not None
+    assert len(manifest.planned) == 24
+    assert not manifest.complete
+    missing = manifest.missing_indices(store)
+    assert missing == list(range(8, 24))
+    assert manifest.missing_labels(store) == manifest.labels[8:]
+    assert manifest.done == manifest.planned[:8]
+
+    # ------------------------------------------------------------------
+    # --resume evaluates exactly the missing 16 (both ledger sides)
+    # ------------------------------------------------------------------
+    counters.reset_counters()
+    report = run_sweep(micro_ctx(store), SPEC, jobs=1, resume=True)
+    assert counters.sweep_point_run_count() == 16
+    assert counters.sweep_point_skip_count() == 8
+    assert report.points_evaluated == 16
+    assert report.cache_hits == list(range(8))
+    assert sweep_report_text(SPEC, report.results) == reference_text
+
+    manifest = load_manifest(store, micro_ctx(store), SPEC)
+    assert manifest.complete
+    assert manifest.done == manifest.planned
+
+
+def test_killed_worker_leaves_resumable_manifest(tmp_path, monkeypatch,
+                                                 reference_text):
+    """Pooled variant: a *worker* raises mid-grid; resume completes."""
+    store = ArtifactStore(str(tmp_path))
+
+    # Deterministic by point identity (workers race on counts): every
+    # 8-bit double-scale point dies. The patch reaches fork-started
+    # workers because they inherit the parent's module state.
+    real_evaluate = eng._PointEvaluator.evaluate
+
+    def dying_evaluate(self, point):
+        if point.bits == 8 and point.hw_scale == 2.0:
+            raise RuntimeError("worker shot at bits=8, hw_scale=2.0")
+        return real_evaluate(self, point)
+
+    monkeypatch.setattr(eng._PointEvaluator, "evaluate", dying_evaluate)
+    with pytest.raises(GCoDTaskError, match="sweep point .* failed"):
+        run_sweep(micro_ctx(store), SPEC, jobs=2)
+    monkeypatch.undo()
+
+    fresh = micro_ctx(store)
+    manifest = load_manifest(store, fresh, SPEC)
+    assert manifest is not None and not manifest.complete
+    missing = set(manifest.missing_indices(store))
+    shot = {
+        i for i, point in enumerate(eng.expand(SPEC, fresh))
+        if point.bits == 8 and point.hw_scale == 2.0
+    }
+    # every shot point is missing; anything else missing was merely
+    # in-flight when the pool tore down — resume covers both.
+    assert shot <= missing
+
+    counters.reset_counters()
+    report = run_sweep(micro_ctx(store), SPEC, jobs=1, resume=True)
+    assert counters.sweep_point_run_count() == len(missing)
+    assert counters.sweep_point_skip_count() == 24 - len(missing)
+    assert sweep_report_text(SPEC, report.results) == reference_text
+
+
+def test_resume_without_store_refuses():
+    with pytest.raises(ConfigError, match="--resume needs the artifact"):
+        run_sweep(micro_ctx(store=None), SPEC, resume=True)
+
+
+def test_resume_without_manifest_refuses(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    with pytest.raises(ConfigError, match="nothing to resume"):
+        run_sweep(micro_ctx(store), SPEC, resume=True)
+
+
+def test_resume_with_stale_manifest_refuses(tmp_path):
+    """A manifest whose planned points no longer match must not resume."""
+    store = ArtifactStore(str(tmp_path))
+    spec = SweepSpec(name="tiny", title="tiny", axes={"C": (1,)})
+    ctx = micro_ctx(store)
+    run_sweep(ctx, spec, jobs=1)
+    manifest = load_manifest(store, ctx, spec)
+    manifest.planned = ["0" * 64]  # as if written by different code
+    write_manifest(store, ctx, spec, manifest)
+    with pytest.raises(ConfigError, match="rerun without --resume"):
+        run_sweep(micro_ctx(store), spec, resume=True)
+
+
+def test_manifests_shared_across_name_spellings(tmp_path):
+    """A registered name and an ad-hoc grid of the same axes share one
+    manifest (its key ignores the spec name)."""
+    store = ArtifactStore(str(tmp_path))
+    ctx = micro_ctx(store)
+    named = SweepSpec(name="named", title="n", axes={"C": (1, 2)})
+    adhoc = SweepSpec(name="custom", title="c", axes={"C": (1, 2)})
+    assert manifest_key(ctx, named).digest == manifest_key(ctx, adhoc).digest
+    run_sweep(ctx, named, jobs=1)
+    # the ad-hoc spelling resumes the named sweep's manifest
+    report = run_sweep(micro_ctx(store), adhoc, jobs=1, resume=True)
+    assert report.points_evaluated == 0
+    assert len(report.cache_hits) == 2

@@ -40,6 +40,22 @@ def test_spec_rejects_unknown_axis_and_empty_values():
         SweepSpec(name="t", title="t", axes={})
 
 
+def test_unknown_axis_error_suggests_near_miss():
+    """Case slips and one-edit typos get a did-you-mean plus the full
+    known-axis list — in parse_grid and SweepSpec construction alike."""
+    from repro.sweep.spec import parse_grid
+
+    with pytest.raises(ConfigError, match=r"did you mean 'C'\?"):
+        parse_grid("c=1,2")
+    with pytest.raises(ConfigError, match=r"did you mean 'hw_scale'\?"):
+        parse_grid("hwscale=2")
+    with pytest.raises(ConfigError, match=r"did you mean 'dataset'\?"):
+        SweepSpec(name="t", title="t", axes={"DATASET": ("cora",)})
+    # hopeless typos still list every known axis, without a bogus guess
+    with pytest.raises(ConfigError, match="choose from dataset, arch, C"):
+        parse_grid("zzz=1")
+
+
 def test_spec_validates_axis_values():
     with pytest.raises(ConfigError):
         SweepSpec(name="t", title="t", axes={"bits": (16,)})
@@ -185,15 +201,19 @@ def test_clamped_duplicate_configs_still_get_distinct_keys():
 # registry
 # ----------------------------------------------------------------------
 def test_builtin_sweeps_are_registered():
-    assert {"ablation-cs", "tab05-scale"} <= set(sweep_names())
+    assert {"ablation-cs", "tab05-scale", "fig12-energy"} <= \
+        set(sweep_names())
     assert get_sweep("ablation-cs").num_points == 32
     assert get_sweep("tab05-scale").num_points == 6
+    assert get_sweep("fig12-energy").num_points == 20
     assert all(isinstance(s, SweepSpec) for s in all_sweeps())
 
 
 def test_unknown_sweep_raises_with_choices():
     with pytest.raises(UnknownSweepError, match="choose from"):
         get_sweep("nope")
+    with pytest.raises(UnknownSweepError, match="did you mean 'tab05-scale'"):
+        get_sweep("tab05scale")
 
 
 def test_duplicate_sweep_registration_rejected():
