@@ -21,6 +21,14 @@ Two phases, each against a throwaway artifact store, both written to
   ``--point-jobs`` CPUs (a single-core box cannot demonstrate
   parallelism; the numbers are still recorded).
 
+* **shared store** — the 24-point grid again, but the sweep results are
+  cleared and re-evaluated by *two worker processes* sharing one
+  artifact store over HTTP (``repro store serve`` in-process): the work
+  ledger splits the points between them. The bench hard-fails on any
+  duplicate evaluation (the workers' counters must sum to exactly the
+  grid size) or on either worker's aggregation differing from the serial
+  bytes.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
@@ -142,6 +150,82 @@ def bench_point_eval(jobs: int, point_jobs: int):
     }
 
 
+def _shared_store_worker(url: str, scales, barrier, queue) -> None:
+    counters.reset_counters()
+    start = time.perf_counter()
+    ctx = EvalContext(profile="fast", store=ArtifactStore(url))
+    ctx.dataset_scales = dict(scales)
+    barrier.wait()
+    report = run_sweep(ctx, BENCH_SPEC)  # http locator -> ledger auto-on
+    queue.put({
+        "worker": report.worker,
+        "wall_s": round(time.perf_counter() - start, 4),
+        "points_evaluated": report.points_evaluated,
+        "sweep_point_runs": counters.sweep_point_run_count(),
+        "gcod_runs": report.gcod_runs,
+        "ledger": report.ledger_stats,
+        "text": sweep_report_text(BENCH_SPEC, report.results),
+    })
+
+
+def bench_shared_store():
+    """Two workers drain one grid through a served store's work ledger."""
+    from repro.runtime.runner import pool_context
+    from repro.runtime.server import make_store_server
+
+    store_root = tempfile.mkdtemp(prefix="bench-sweep-shared-")
+    try:
+        # Train the unique pipelines once, locally — not timed — then
+        # clear the point results so the workers have a full grid to
+        # split.
+        _, serial_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
+                                  jobs=1)
+        ArtifactStore(store_root).clear(kind=KIND_SWEEP)
+
+        import threading
+
+        server = make_store_server(store_root, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        mp = pool_context()
+        barrier = mp.Barrier(2)
+        queue = mp.Queue()
+        start = time.perf_counter()
+        procs = [
+            mp.Process(target=_shared_store_worker,
+                       args=(server.url, BENCH_SCALES, barrier, queue))
+            for _ in range(2)
+        ]
+        try:
+            for p in procs:
+                p.start()
+            workers = [queue.get(timeout=600) for _ in procs]
+            for p in procs:
+                p.join(timeout=600)
+            wall = time.perf_counter() - start
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    grid_points = BENCH_SPEC.num_points
+    total_runs = sum(w["sweep_point_runs"] for w in workers)
+    return {
+        "grid_points": grid_points,
+        "workers": [
+            {k: w[k] for k in ("worker", "wall_s", "points_evaluated",
+                               "sweep_point_runs", "gcod_runs", "ledger")}
+            for w in workers
+        ],
+        "wall_s": round(wall, 4),
+        "total_point_runs": total_runs,
+        "duplicate_evaluations": total_runs - grid_points,
+        "bytes_identical": all(w["text"] == serial_text for w in workers),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--out", default="BENCH_sweep.json")
@@ -161,6 +245,7 @@ def main(argv=None) -> int:
 
     cold, warm, cold_warm_identical = bench_cold_warm(args.jobs)
     point_eval = bench_point_eval(args.jobs, args.point_jobs)
+    shared = bench_shared_store()
 
     cpus = os.cpu_count() or 1
     point_gate_enforced = cpus >= args.point_jobs
@@ -179,6 +264,7 @@ def main(argv=None) -> int:
         "bytes_identical": cold_warm_identical,
         "point_eval": dict(point_eval,
                            gate_enforced=point_gate_enforced),
+        "shared_store": shared,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -195,7 +281,11 @@ def main(argv=None) -> int:
           f"jobs={args.point_jobs} "
           f"{point_eval['parallel']['wall_s']:.2f}s  "
           f"speedup: {point_eval['parallel_speedup']:.1f}x "
-          f"({cpus} CPUs)  -> {args.out}")
+          f"({cpus} CPUs)")
+    split = "+".join(str(w["sweep_point_runs"]) for w in shared["workers"])
+    print(f"shared store ({shared['grid_points']} points, 2 workers over "
+          f"HTTP): {shared['wall_s']:.2f}s, split {split}, "
+          f"{shared['duplicate_evaluations']} duplicates  -> {args.out}")
 
     if warm["gcod_runs_in_parent"] != 0 or warm["points_evaluated"] != 0:
         print("FAIL: warm pass did real work", file=sys.stderr)
@@ -205,6 +295,15 @@ def main(argv=None) -> int:
         return 1
     if not point_eval["bytes_identical"]:
         print("FAIL: parallel point evaluation output differs from serial",
+              file=sys.stderr)
+        return 1
+    if shared["duplicate_evaluations"] != 0:
+        print(f"FAIL: shared-store workers evaluated "
+              f"{shared['total_point_runs']} points for a "
+              f"{shared['grid_points']}-point grid", file=sys.stderr)
+        return 1
+    if not shared["bytes_identical"]:
+        print("FAIL: shared-store worker output differs from serial",
               file=sys.stderr)
         return 1
     if args.min_speedup is not None and speedup < args.min_speedup:

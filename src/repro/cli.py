@@ -30,11 +30,20 @@ Commands
     machine-readable files).
 ``cache``
     Inspect the persistent artifact store: ``ls``, ``stats``, ``clear``.
+``store serve``
+    Expose one local store root over HTTP so many sweep workers — on this
+    host or others — share a single artifact store. Workers point
+    ``--store-url http://host:port`` (or ``$REPRO_STORE_URL``) at it; the
+    sweep engine then coordinates through the store's work ledger, so N
+    workers running the same grid split the points with zero duplicate
+    evaluations (``--stats-out`` writes each worker's counters as JSON).
 
 All commands share ``--profile``, ``--kernel-backend``, and the artifact
 store flags: results persist under ``--cache-dir`` (default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gcod``) so a second invocation
-reuses every trained pipeline; ``--no-cache`` disables persistence.
+reuses every trained pipeline; ``--store-url URL`` (or
+``$REPRO_STORE_URL``) swaps the local directory for a served store;
+``--no-cache`` disables persistence.
 """
 
 from __future__ import annotations
@@ -244,8 +253,11 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
 
     progress = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet \
         else None
+    from repro.runtime import counters
+
+    skips_before = counters.sweep_point_skip_count()
     report = run_sweep(ctx, spec, jobs=args.jobs, progress=progress,
-                       resume=args.resume)
+                       resume=args.resume, ledger=args.ledger)
     if progress:
         progress(
             f"{len(report.results)} points in {report.wall_s:.2f}s "
@@ -253,6 +265,31 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
             f"{report.points_evaluated} evaluated, "
             f"{report.tasks_executed} GCoD runs scheduled)"
         )
+
+    if args.stats_out:
+        # Per-worker accounting for multi-host runs: CI sums
+        # sweep_point_runs across workers and asserts it equals the grid
+        # size (exactly-once), and that skips account for the rest.
+        stats = {
+            "sweep": spec.name,
+            "store": ctx.store.root if ctx.store is not None else None,
+            "worker": report.worker,
+            "points_total": len(report.results),
+            "points_evaluated": report.points_evaluated,
+            "cache_hits": len(report.cache_hits),
+            "sweep_point_runs": report.points_evaluated,
+            "sweep_point_skips":
+                counters.sweep_point_skip_count() - skips_before,
+            "gcod_runs": report.gcod_runs,
+            "tasks_executed": report.tasks_executed,
+            "wall_s": round(report.wall_s, 4),
+            "ledger": report.ledger_stats,
+        }
+        with open(args.stats_out, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        if progress:
+            progress(f"wrote worker stats to {args.stats_out}")
 
     if args.format == "markdown":
         text = sweep_report_text(spec, report.results,
@@ -322,13 +359,22 @@ def _cmd_cache(args, ctx: EvalContext) -> int:
     if args.action == "stats":
         stats = store.stats()
         print(f"artifact store: {store.root}")
-        for kind in sorted(k for k in stats if k != "total"):
+        for kind in sorted(k for k in stats if k not in ("total", "tmp")):
             row = stats[kind]
             print(f"  {kind:<12} {int(row['entries']):>5} entries  "
                   f"{_human_bytes(row['bytes'])}")
         total = stats["total"]
         print(f"  {'total':<12} {int(total['entries']):>5} entries  "
               f"{_human_bytes(total['bytes'])}")
+        if "tmp" in stats:
+            # crash debris still younger than the stale threshold; older
+            # temps were already swept when this store opened.
+            tmp = stats["tmp"]
+            print(f"  in-flight temp files: {int(tmp['entries'])} "
+                  f"({_human_bytes(tmp['bytes'])})")
+        if store.reclaimed_tmp:
+            print(f"  reclaimed on open: {store.reclaimed_tmp} stale temp "
+                  f"file(s), {_human_bytes(store.reclaimed_tmp_bytes)}")
         return 0
     # ls
     count = 0
@@ -352,6 +398,21 @@ def _cmd_cache(args, ctx: EvalContext) -> int:
     return 0
 
 
+def _cmd_store(args, ctx: EvalContext) -> int:
+    from repro.runtime.server import serve_store
+
+    root = args.root
+    if root is None:
+        if ctx.store is None or ctx.store.is_remote:
+            print("store serve needs a local root: pass --root DIR (or "
+                  "--cache-dir, and drop --no-cache/--store-url)",
+                  file=sys.stderr)
+            return 2
+        root = ctx.store.root
+    return serve_store(root, host=args.host, port=args.port,
+                       verbose=args.verbose)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -367,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="artifact store location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-gcod)")
+    parser.add_argument("--store-url", default=None,
+                        help="shared artifact store URL from `repro store "
+                             "serve` (default: $REPRO_STORE_URL; mutually "
+                             "exclusive with --cache-dir)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not persist/reuse artifacts on disk")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -419,6 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--resume", action="store_true",
                       help="resume an interrupted sweep from its stored "
                            "manifest (only missing points evaluate)")
+    p_sw.add_argument("--ledger", action="store_true", default=None,
+                      help="coordinate with peer workers through the "
+                           "store's work ledger (default: automatic when "
+                           "--store-url points at a shared store; pass "
+                           "explicitly for a shared --cache-dir on a "
+                           "common filesystem)")
+    p_sw.add_argument("--stats-out", default=None, metavar="FILE",
+                      help="write this worker's evaluation/ledger "
+                           "counters as JSON (multi-worker accounting)")
     p_sw.add_argument("--format", choices=("markdown", "json", "csv"),
                       default="markdown",
                       help="output format (json/csv write files under "
@@ -438,6 +512,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(graph/gcod/trace/experiment/sweep/"
                               "manifest)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_store = sub.add_parser("store", help="shared artifact-store server")
+    p_store.add_argument("action", choices=("serve",))
+    p_store.add_argument("--root", default=None,
+                         help="store root directory to serve (default: "
+                              "the --cache-dir/default store)")
+    p_store.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_store.add_argument("--port", type=int, default=8750,
+                         help="bind port (default: 8750; 0 picks a free "
+                              "port)")
+    p_store.add_argument("--verbose", action="store_true",
+                         help="log every request")
+    p_store.set_defaults(func=_cmd_store)
     return parser
 
 
@@ -448,9 +536,16 @@ def main(argv: Optional[list] = None) -> int:
         # Make the choice process-wide so even code paths that never see the
         # context (direct GraphOps construction, the emulator) honor it.
         set_default_backend(args.kernel_backend)
+    if args.store_url and args.cache_dir:
+        print("--store-url and --cache-dir name different stores; pass "
+              "one or the other", file=sys.stderr)
+        return 2
     store = None
     if not args.no_cache:
-        store = ArtifactStore(args.cache_dir or default_cache_dir())
+        # Explicit flags beat the environment; default_cache_dir() itself
+        # honors $REPRO_STORE_URL over $REPRO_CACHE_DIR.
+        locator = args.store_url or args.cache_dir or default_cache_dir()
+        store = ArtifactStore(locator)
     ctx = EvalContext(profile=args.profile, kernel_backend=args.kernel_backend,
                       store=store)
     try:

@@ -4,7 +4,14 @@ This package is the substrate under ``repro report``:
 
 * :mod:`repro.runtime.keys` — stable content-addressed cache keys
   (``CODE_SCHEMA_VERSION`` lives here);
-* :mod:`repro.runtime.store` — the on-disk :class:`ArtifactStore`;
+* :mod:`repro.runtime.backends` — the :class:`StoreBackend` byte-blob
+  interface the store sits on: :class:`LocalDirBackend` (the reference
+  on-disk layout) and :class:`HTTPStoreBackend` (a served store shared
+  across hosts, selected by an ``http(s)://`` locator);
+* :mod:`repro.runtime.store` — the :class:`ArtifactStore` (pickle +
+  metadata-sidecar layer over whichever backend the locator names);
+* :mod:`repro.runtime.server` — the stdlib HTTP object-store server
+  behind ``repro store serve``;
 * :mod:`repro.runtime.counters` — process-wide counters of real training
   runs (the zero-runs-when-warm guarantee is asserted against these);
 * :mod:`repro.runtime.registry` — :class:`ExperimentSpec` descriptors that
@@ -25,7 +32,20 @@ from repro.runtime.keys import (
     sweep_point_key,
     trace_key,
 )
-from repro.runtime.store import ArtifactStore, default_cache_dir, default_store
+from repro.runtime.backends import (
+    HTTPStoreBackend,
+    LocalDirBackend,
+    StoreBackend,
+    StoreBackendError,
+    is_remote_locator,
+    open_backend,
+)
+from repro.runtime.store import (
+    STORE_URL_ENV,
+    ArtifactStore,
+    default_cache_dir,
+    default_store,
+)
 from repro.runtime.registry import (
     ExperimentSpec,
     all_experiments,
@@ -38,9 +58,14 @@ from repro.runtime import counters
 
 __all__ = [
     "CODE_SCHEMA_VERSION",
+    "STORE_URL_ENV",
     "ArtifactKey",
     "ArtifactStore",
     "ExperimentSpec",
+    "HTTPStoreBackend",
+    "LocalDirBackend",
+    "StoreBackend",
+    "StoreBackendError",
     "all_experiments",
     "counters",
     "default_cache_dir",
@@ -50,6 +75,8 @@ __all__ = [
     "gcod_key",
     "get_experiment",
     "graph_key",
+    "is_remote_locator",
+    "open_backend",
     "register_experiment",
     "resolve_experiments",
     "stable_hash",

@@ -35,6 +35,9 @@ KIND_TRACE = "trace"
 KIND_EXPERIMENT = "experiment"
 KIND_SWEEP = "sweep"
 KIND_MANIFEST = "manifest"
+#: work-ledger claim entries (atomic put-if-absent; not content-addressed
+#: artifacts — they carry liveness metadata, not computation results).
+KIND_CLAIM = "claim"
 
 
 def jsonable(obj: Any) -> Any:
@@ -232,6 +235,7 @@ def experiment_key(
 
 __all__: Tuple[str, ...] = (
     "CODE_SCHEMA_VERSION",
+    "KIND_CLAIM",
     "KIND_EXPERIMENT",
     "KIND_GCOD",
     "KIND_GRAPH",

@@ -271,6 +271,9 @@ def warm_tasks(
         for dataset in dict.fromkeys(t.dataset for t in tasks):
             context.graph(dataset)
         ctx_mp = pool_context()
+        # store.root is a *locator* (a directory path or a served-store
+        # http(s) URL); ArtifactStore(locator) in the worker reconnects to
+        # the same store either way.
         payloads = [(store.root, task) for task in tasks]
         with ctx_mp.Pool(processes=min(jobs, len(tasks))) as pool:
             for dataset, arch in pool.imap_unordered(_execute_task, payloads):

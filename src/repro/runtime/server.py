@@ -1,0 +1,248 @@
+"""The stdlib HTTP object-store server behind ``repro store serve``.
+
+One :class:`LocalDirBackend` root exposed over a tiny REST surface so
+many sweep workers on many hosts can share a single artifact store:
+
+* ``GET /<kind>/<name>`` — blob bytes (``Content-Length``,
+  ``X-Repro-Mtime`` headers); 404 on a miss;
+* ``HEAD /<kind>/<name>`` — existence + size/mtime;
+* ``PUT /<kind>/<name>`` — atomic write. The client sends the body's
+  SHA-256 in ``X-Repro-Sha256``; a mismatch (a connection dropped
+  mid-upload surfaces as a short body) is refused with 400 and **nothing
+  is committed** — the store can never hold a partial remote entry. With
+  ``X-Repro-If-Absent: 1`` the PUT is create-exclusive: 201 when this
+  writer won, 409 when the name already existed (the work-ledger claim
+  primitive);
+* ``DELETE /<kind>/<name>`` — 204, or 404 when absent;
+* ``GET /<kind>?list=1`` and ``GET /?list=1`` — JSON name/kind listings.
+
+The server is intentionally trust-the-network simple (no auth, no TLS):
+it exists so a lab cluster — or a CI job, or a test — can stand up a
+shared store in one process with zero dependencies. Anything fancier
+should implement :class:`~repro.runtime.backends.StoreBackend` against a
+real object store instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+from urllib.parse import unquote, urlparse
+
+from repro.runtime.backends import (
+    IF_ABSENT_HEADER,
+    MTIME_HEADER,
+    SHA_HEADER,
+    LocalDirBackend,
+    StoreBackendError,
+)
+
+#: kind and name segments the server will touch on disk — anything else
+#: (traversal attempts, empty segments) is a 400.
+_SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's backend root."""
+
+    #: quiet by default; ``repro store serve --verbose`` flips this.
+    verbose = False
+    #: test hook: ``hook(handler, method, kind, name) -> Optional[int]``.
+    #: Returning a status short-circuits the request with that code;
+    #: raising simulates a server-side crash (a 500 to the client). Used
+    #: by the fault-injection tier; ``None`` in production.
+    fault_hook: Optional[Callable] = None
+
+    server_version = "ReproStore/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> LocalDirBackend:
+        return self.server.backend  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # pragma: no cover - logging only
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+    def _parse(self) -> Optional[Tuple[str, str, dict]]:
+        """``(kind, name, query)`` of the request path, or ``None`` (400)."""
+        parsed = urlparse(self.path)
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        query = {}
+        for item in parsed.query.split("&"):
+            if "=" in item:
+                k, v = item.split("=", 1)
+                query[k] = v
+        if len(parts) > 2:
+            return None
+        kind = parts[0] if parts else ""
+        name = parts[1] if len(parts) > 1 else ""
+        for segment in (kind, name):
+            if segment and not _SEGMENT.match(segment):
+                return None
+        return kind, name, query
+
+    def _respond(self, status: int, body: bytes = b"",
+                 headers: Optional[dict] = None) -> None:
+        self.send_response(status)
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _json(self, payload) -> None:
+        self._respond(
+            200, json.dumps(payload).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+
+    def _dispatch(self, method: str) -> None:
+        parsed = self._parse()
+        if parsed is None:
+            self._respond(400, b"bad path")
+            return
+        kind, name, query = parsed
+        if self.fault_hook is not None:
+            status = self.fault_hook(self, method, kind, name)
+            if status is not None:
+                self._respond(int(status), b"injected fault")
+                return
+        try:
+            getattr(self, "_handle_" + method.lower())(kind, name, query)
+        except StoreBackendError as exc:
+            self._respond(500, str(exc).encode("utf-8"))
+
+    # BaseHTTPRequestHandler entry points --------------------------------
+    def do_GET(self):  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_HEAD(self):  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_PUT(self):  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _handle_get(self, kind: str, name: str, query: dict) -> None:
+        if not name:
+            if "list" in query:
+                if not kind:
+                    self._json(self.backend.list_kinds())
+                else:
+                    self._json(self.backend.list_names(kind))
+                return
+            self._respond(400, b"missing blob name (use ?list=1 to list)")
+            return
+        blob = self.backend.read(kind, name)
+        if blob is None:
+            self._respond(404, b"not found")
+            return
+        stat = self.backend.stat(kind, name)
+        self._respond(200, blob, {
+            "Content-Type": "application/octet-stream",
+            SHA_HEADER: hashlib.sha256(blob).hexdigest(),
+            MTIME_HEADER: f"{stat.mtime:.6f}" if stat else "0",
+        })
+
+    def _handle_head(self, kind: str, name: str, query: dict) -> None:
+        stat = self.backend.stat(kind, name) if name else None
+        if stat is None:
+            self._respond(404)
+            return
+        # _respond(HEAD) sends no body; Content-Length must describe the
+        # blob, so answer directly.
+        self.send_response(200)
+        self.send_header("Content-Length", str(stat.size_bytes))
+        self.send_header(MTIME_HEADER, f"{stat.mtime:.6f}")
+        self.end_headers()
+
+    def _handle_put(self, kind: str, name: str, query: dict) -> None:
+        if not kind or not name:
+            self._respond(400, b"PUT needs /<kind>/<name>")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", -1))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._respond(411, b"Content-Length required")
+            return
+        # A dropped connection raises here, before anything touches the
+        # backend — an interrupted upload commits nothing.
+        body = self.rfile.read(length)
+        if len(body) != length:
+            self._respond(400, b"short body")
+            return
+        want_sha = self.headers.get(SHA_HEADER)
+        if want_sha and hashlib.sha256(body).hexdigest() != want_sha:
+            self._respond(400, b"sha256 mismatch; not committed")
+            return
+        if self.headers.get(IF_ABSENT_HEADER):
+            # Serialized across this server's worker threads so two
+            # concurrent claims cannot both win the filesystem race
+            # window between exists() and link().
+            with self.server.claim_lock:  # type: ignore[attr-defined]
+                created = self.backend.put_if_absent(kind, name, body)
+            self._respond(201 if created else 409)
+            return
+        self.backend.write(kind, name, body)
+        self._respond(204)
+
+    def _handle_delete(self, kind: str, name: str, query: dict) -> None:
+        if not kind or not name:
+            self._respond(400, b"DELETE needs /<kind>/<name>")
+            return
+        self._respond(204 if self.backend.delete(kind, name) else 404)
+
+
+class StoreServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one local store root."""
+
+    daemon_threads = True
+
+    def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
+                 handler=StoreRequestHandler):
+        self.backend = LocalDirBackend(root)
+        self.claim_lock = threading.Lock()
+        super().__init__((host, port), handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def make_store_server(root: str, host: str = "127.0.0.1", port: int = 0,
+                      handler=StoreRequestHandler) -> StoreServer:
+    """A ready-to-run server (``port=0`` picks a free port — tests)."""
+    return StoreServer(root, host=host, port=port, handler=handler)
+
+
+def serve_store(root: str, host: str = "127.0.0.1", port: int = 8750,
+                verbose: bool = False, say=print) -> int:
+    """Run the store server until interrupted (``repro store serve``)."""
+    handler = type("Handler", (StoreRequestHandler,), {"verbose": verbose})
+    server = make_store_server(root, host=host, port=port, handler=handler)
+    say(f"serving artifact store {root} at {server.url} "
+        f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

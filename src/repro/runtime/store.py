@@ -1,42 +1,74 @@
-"""The on-disk, content-addressed artifact store.
+"""The content-addressed artifact store, over a pluggable byte backend.
 
-Layout: ``<root>/<kind>/<digest>.pkl`` holds the pickled artifact and
-``<root>/<kind>/<digest>.json`` a small metadata sidecar (the key payload,
+Layout: ``<kind>/<digest>.pkl`` holds the pickled artifact and
+``<kind>/<digest>.json`` a small metadata sidecar (the key payload,
 creation time, payload sizes, plus any artifact summary the producer
 attached). Everything is addressed by the stable keys built in
 :mod:`repro.runtime.keys`, so a second process — or a second machine with
 the same code — computes the same digests and reuses the same entries.
 
+Where the bytes live is a :class:`~repro.runtime.backends.StoreBackend`:
+the default is the original local directory layout; an ``http(s)://``
+locator (``--store-url`` / ``$REPRO_STORE_URL``) selects the client for
+the object store behind ``repro store serve``, letting many hosts share
+one cache (and one sweep work ledger — :mod:`repro.sweep.ledger`).
+
 Robustness rules:
 
-* writes are atomic (temp file + ``os.replace``), so a killed process never
-  leaves a half-written entry under a valid name;
+* writes are atomic, so a killed process never leaves a half-written
+  entry under a valid name; the metadata sidecar is committed *before*
+  the data blob, so an entry becomes visible only when its metadata
+  already exists — a kill between the two writes leaves an invisible
+  orphan sidecar, never a data blob that lists with empty metadata;
 * reads of corrupted entries (truncated pickle, stale class layout) are
   treated as a cache miss — the entry is deleted and the caller
   recomputes; reads and writes that fail for environmental reasons
-  (permissions, disk errors, memory pressure) also degrade to misses but
-  leave the bytes on disk alone — the store never makes a run fail;
-* the root directory is created lazily on first write, so read-only users
-  never touch the filesystem.
+  (permissions, disk errors, memory pressure, an unreachable store
+  server) also degrade to misses but leave the stored bytes alone;
+* ``put`` never raises: unpicklable artifacts/summaries and unwritable
+  backends degrade to not persisting, with a note on stderr — the store
+  never makes a run fail;
+* the root directory is created lazily on first write, so read-only
+  users never touch the filesystem; opening a local store lazily sweeps
+  ``.tmp-*.part`` orphans left by killed writers (reported by
+  ``repro cache stats``), so an unattended cache cannot leak disk.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.runtime.keys import ArtifactKey, CODE_SCHEMA_VERSION, canonical_json
+from repro.runtime.backends import (
+    STALE_TMP_S,
+    LocalDirBackend,
+    StoreBackend,
+    StoreBackendError,
+    open_backend,
+)
+from repro.runtime.keys import (
+    ArtifactKey,
+    CODE_SCHEMA_VERSION,
+    KIND_CLAIM,
+    canonical_json,
+)
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable selecting a shared store server URL.
+STORE_URL_ENV = "REPRO_STORE_URL"
 
 
 def default_cache_dir() -> str:
-    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-gcod``."""
+    """``$REPRO_STORE_URL`` or ``$REPRO_CACHE_DIR`` if set, else
+    ``~/.cache/repro-gcod``."""
+    url = os.environ.get(STORE_URL_ENV)
+    if url:
+        return url
     env = os.environ.get(CACHE_DIR_ENV)
     if env:
         return env
@@ -56,55 +88,92 @@ class StoreEntry:
 
 
 class ArtifactStore:
-    """Content-addressed pickle store under one root directory."""
+    """Content-addressed pickle store over one backend.
+
+    ``root`` is a *locator*: a local directory path (the default), an
+    ``http(s)://`` store URL, or an already-built
+    :class:`~repro.runtime.backends.StoreBackend`. ``store.root`` always
+    round-trips — ``ArtifactStore(other.root)`` opens the same store, so
+    pool workers and remote hosts can be handed the locator string.
+    """
+
+    #: age after which a ``.tmp-*.part`` file is an orphan (local roots).
+    _STALE_TMP_S = STALE_TMP_S
 
     def __init__(self, root: Optional[str] = None):
-        self.root = os.path.abspath(root or default_cache_dir())
+        if isinstance(root, StoreBackend):
+            self.backend = root
+        else:
+            self.backend = open_backend(root or default_cache_dir())
+        self.root = self.backend.locator
+        #: stale temp files reclaimed when this (local) store was opened.
+        self.reclaimed_tmp = 0
+        self.reclaimed_tmp_bytes = 0
+        if isinstance(self.backend, LocalDirBackend):
+            # Lazy crash-debris sweep: a killed writer's orphaned
+            # .tmp-*.part files used to be invisible to everything but
+            # `repro cache clear` and leaked disk forever.
+            self.reclaimed_tmp, self.reclaimed_tmp_bytes = (
+                self.backend.sweep_stale_temps(self._STALE_TMP_S)
+            )
+
+    @property
+    def is_remote(self) -> bool:
+        """True when this store is shared across hosts (a served store)."""
+        return self.backend.shared
 
     # ------------------------------------------------------------------
-    # paths
+    # naming
     # ------------------------------------------------------------------
+    @staticmethod
+    def _data_name(digest: str) -> str:
+        return digest + ".pkl"
+
+    @staticmethod
+    def _meta_name(digest: str) -> str:
+        return digest + ".json"
+
+    # Local-path helpers kept for tooling/tests that inspect the on-disk
+    # layout directly; only meaningful for directory-backed stores.
     def _dir(self, kind: str) -> str:
         return os.path.join(self.root, kind)
 
     def _data_path(self, key: ArtifactKey) -> str:
-        return os.path.join(self._dir(key.kind), key.digest + ".pkl")
+        return os.path.join(self._dir(key.kind), self._data_name(key.digest))
 
     def _meta_path(self, key: ArtifactKey) -> str:
-        return os.path.join(self._dir(key.kind), key.digest + ".json")
+        return os.path.join(self._dir(key.kind), self._meta_name(key.digest))
 
     # ------------------------------------------------------------------
     # read / write
     # ------------------------------------------------------------------
     def contains(self, key: ArtifactKey) -> bool:
-        """True if an entry for ``key`` exists on disk."""
-        return os.path.exists(self._data_path(key))
+        """True if an entry for ``key`` exists."""
+        return self.backend.exists(key.kind, self._data_name(key.digest))
 
     def contains_digest(self, kind: str, digest: str) -> bool:
-        """True if an entry of ``kind`` with ``digest`` exists on disk.
+        """True if an entry of ``kind`` with ``digest`` exists.
 
         Lets a consumer that recorded only digests (a sweep manifest's
         planned-point list) check membership without rebuilding the full
         key payloads.
         """
-        return os.path.exists(os.path.join(self._dir(kind), digest + ".pkl"))
+        return self.backend.exists(kind, self._data_name(digest))
 
     def get(self, key: ArtifactKey) -> Optional[Any]:
         """The stored artifact, or ``None`` on a miss *or* corrupted entry."""
-        path = self._data_path(key)
+        blob = self.backend.read(key.kind, self._data_name(key.digest))
+        if blob is None:
+            # Miss, or a transient backend failure (EIO, permissions, an
+            # unreachable server): treat as a miss, keep the entry.
+            return None
         try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except FileNotFoundError:
-            return None
-        except (OSError, MemoryError):
-            # Transient failure (EIO, fd exhaustion, permissions, memory
-            # pressure): the bytes on disk may be fine — treat as a miss,
-            # keep the entry.
-            return None
+            return pickle.loads(blob)
+        except MemoryError:
+            return None  # memory pressure: the stored bytes may be fine
         except Exception:
-            # Truncated/garbled pickle or incompatible class layout: recover
-            # by dropping the entry so the caller recomputes it.
+            # Truncated/garbled pickle or incompatible class layout:
+            # recover by dropping the entry so the caller recomputes it.
             self.invalidate(key)
             return None
 
@@ -116,13 +185,12 @@ class ArtifactStore:
     ) -> ArtifactKey:
         """Atomically persist ``artifact`` under ``key``; returns ``key``.
 
-        Best-effort: an unwritable cache (permissions, disk full) must not
-        crash the run that just produced an expensive artifact — the store
+        Best-effort: an unwritable cache (permissions, disk full, a dead
+        store server) *or an unserializable artifact/summary* must not
+        crash the run that just produced an expensive result — the store
         degrades to not persisting, with a note on stderr.
         """
         try:
-            directory = self._dir(key.kind)
-            os.makedirs(directory, exist_ok=True)
             blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
             meta = {
                 "kind": key.kind,
@@ -134,31 +202,67 @@ class ArtifactStore:
             }
             if summary:
                 meta["summary"] = summary
-            self._atomic_write(self._data_path(key), blob)
-            self._atomic_write(
-                self._meta_path(key), canonical_json(meta).encode("utf-8")
+            meta_blob = canonical_json(meta).encode("utf-8")
+        except Exception as exc:
+            # pickle.PicklingError, RecursionError, a TypeError from an
+            # unserializable summary: the artifact exists only in memory,
+            # which is exactly where the caller already has it.
+            self._degrade_note(key, exc)
+            return key
+        try:
+            # Sidecar first: the entry becomes visible (the .pkl exists)
+            # only once its metadata is durable, so a kill between the
+            # two writes can never produce a listable entry with empty
+            # metadata and no schema tag.
+            self.backend.write(
+                key.kind, self._meta_name(key.digest), meta_blob
             )
-        except OSError as exc:
-            import sys
-
-            print(f"artifact store: could not persist {key.short} "
-                  f"({exc}); continuing without caching it",
-                  file=sys.stderr)
+            self.backend.write(key.kind, self._data_name(key.digest), blob)
+        except (OSError, StoreBackendError) as exc:
+            self._degrade_note(key, exc)
         return key
 
     @staticmethod
-    def _atomic_write(path: str, blob: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".part"
-        )
+    def _degrade_note(key: ArtifactKey, exc: Exception) -> None:
+        import sys
+
+        print(f"artifact store: could not persist {key.short} "
+              f"({exc}); continuing without caching it",
+              file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # work-ledger claims (atomic put-if-absent entries)
+    # ------------------------------------------------------------------
+    def claim(self, name: str, payload: Dict[str, Any]) -> bool:
+        """Atomically create claim ``name``; True iff this caller won.
+
+        Claims are tiny canonical-JSON blobs under the ``claim`` kind —
+        the mutual-exclusion primitive the distributed sweep ledger
+        (:mod:`repro.sweep.ledger`) builds on. A backend failure counts
+        as a lost claim (somebody has to not win; the cautious answer).
+        """
+        blob = canonical_json(payload).encode("utf-8")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+            return self.backend.put_if_absent(
+                KIND_CLAIM, self._meta_name(name), blob
+            )
+        except StoreBackendError:
+            return False
+
+    def read_claim(self, name: str) -> Optional[Dict[str, Any]]:
+        """The payload of claim ``name``, or ``None``."""
+        blob = self.backend.read(KIND_CLAIM, self._meta_name(name))
+        if blob is None:
+            return None
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None  # garbled claim: callers treat it as stale
+        return payload if isinstance(payload, dict) else None
+
+    def release_claim(self, name: str) -> bool:
+        """Delete claim ``name``; True iff it existed."""
+        return self.backend.delete(KIND_CLAIM, self._meta_name(name))
 
     # ------------------------------------------------------------------
     # invalidation / introspection
@@ -166,92 +270,75 @@ class ArtifactStore:
     def invalidate(self, key: ArtifactKey) -> bool:
         """Remove the entry for ``key``; True if anything was deleted."""
         removed = False
-        for path in (self._data_path(key), self._meta_path(key)):
-            try:
-                os.unlink(path)
+        for name in (self._data_name(key.digest),
+                     self._meta_name(key.digest)):
+            if self.backend.delete(key.kind, name):
                 removed = True
-            except FileNotFoundError:
-                pass
         return removed
 
     def clear(self, kind: Optional[str] = None) -> int:
-        """Delete every entry (of ``kind``, or all kinds); returns the count."""
+        """Delete every entry (of ``kind``, or all kinds); returns the count.
+
+        On local roots this also reclaims stale ``.tmp-*.part`` orphans
+        (another process's *fresh* in-flight write survives).
+        """
         removed = 0
-        for entry_kind in self._kinds():
+        for entry_kind in self.backend.list_kinds():
             if kind is not None and entry_kind != kind:
                 continue
-            directory = self._dir(entry_kind)
-            for fname in os.listdir(directory):
-                path = os.path.join(directory, fname)
-                if fname.startswith(".tmp-"):
-                    # Another process's in-flight atomic write — unless it
-                    # is old enough that the writer must have died, in
-                    # which case this is the only tool that reclaims it.
-                    try:
-                        fresh = time.time() - os.stat(path).st_mtime \
-                            < self._STALE_TMP_S
-                    except FileNotFoundError:
-                        continue
-                    if fresh:
-                        continue
-                try:
-                    os.unlink(path)
-                except FileNotFoundError:
-                    continue  # removed concurrently: don't count it
-                if fname.endswith(".pkl"):
+            for name in self.backend.list_names(entry_kind):
+                if self.backend.delete(entry_kind, name) and \
+                        name.endswith(".pkl"):
                     removed += 1
+        if kind is None and isinstance(self.backend, LocalDirBackend):
+            self.backend.sweep_stale_temps(self._STALE_TMP_S)
         return removed
 
-    #: age after which a .tmp-*.part file is considered an orphan of a
-    #: killed writer (atomic writes complete in seconds).
-    _STALE_TMP_S = 600.0
-
     def _kinds(self) -> List[str]:
-        if not os.path.isdir(self.root):
-            return []
-        return sorted(
-            d for d in os.listdir(self.root)
-            if os.path.isdir(os.path.join(self.root, d))
-        )
+        return self.backend.list_kinds()
 
     def entries(self, kind: Optional[str] = None) -> Iterator[StoreEntry]:
         """Iterate over stored entries (newest first within each kind)."""
-        import json
-
         for entry_kind in self._kinds():
             if kind is not None and entry_kind != kind:
                 continue
-            directory = self._dir(entry_kind)
+            names = self.backend.list_names(entry_kind)
             found = []
-            for fname in os.listdir(directory):
+            for fname in names:
                 if not fname.endswith(".pkl"):
                     continue
                 digest = fname[: -len(".pkl")]
-                data_path = os.path.join(directory, fname)
-                meta_path = os.path.join(directory, digest + ".json")
                 meta: Dict[str, Any] = {}
-                try:
-                    with open(meta_path) as fh:
-                        meta = json.load(fh)
-                except Exception:
-                    pass
-                try:
-                    stat = os.stat(data_path)
-                except FileNotFoundError:
+                raw = self.backend.read(
+                    entry_kind, self._meta_name(digest)
+                )
+                if raw is not None:
+                    try:
+                        meta = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        meta = {}
+                stat = self.backend.stat(entry_kind, fname)
+                if stat is None:
                     continue  # deleted concurrently (clear/invalidate race)
                 found.append(
                     StoreEntry(
                         kind=entry_kind,
                         digest=digest,
-                        size_bytes=stat.st_size,
-                        created=meta.get("created", stat.st_mtime),
+                        size_bytes=stat.size_bytes,
+                        created=meta.get("created", stat.mtime),
                         meta=meta,
                     )
                 )
             yield from sorted(found, key=lambda e: e.created, reverse=True)
 
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-kind ``{"entries": n, "bytes": total}`` plus a ``total`` row."""
+        """Per-kind ``{"entries": n, "bytes": total}`` plus a ``total`` row.
+
+        Local stores also report crash debris under a ``tmp`` pseudo-kind
+        (in-flight/orphaned ``.tmp-*.part`` files, excluded from
+        ``total``) so leaked temp space is visible in ``repro cache
+        stats`` instead of silently accumulating.
+        """
         out: Dict[str, Dict[str, float]] = {}
         total_n, total_b = 0, 0
         for entry in self.entries():
@@ -260,6 +347,13 @@ class ArtifactStore:
             bucket["bytes"] += entry.size_bytes
             total_n += 1
             total_b += entry.size_bytes
+        if isinstance(self.backend, LocalDirBackend):
+            tmp_n, tmp_b = 0, 0
+            for _path, st in self.backend.temp_files():
+                tmp_n += 1
+                tmp_b += st.st_size
+            if tmp_n:
+                out["tmp"] = {"entries": tmp_n, "bytes": tmp_b}
         out["total"] = {"entries": total_n, "bytes": total_b}
         return out
 
@@ -270,8 +364,9 @@ _DEFAULT_STORE: Optional[ArtifactStore] = None
 def default_store() -> ArtifactStore:
     """A process-wide store rooted at :func:`default_cache_dir`."""
     global _DEFAULT_STORE
-    if _DEFAULT_STORE is None or _DEFAULT_STORE.root != os.path.abspath(
-        default_cache_dir()
-    ):
+    locator = default_cache_dir()
+    if not locator.startswith(("http://", "https://")):
+        locator = os.path.abspath(locator)
+    if _DEFAULT_STORE is None or _DEFAULT_STORE.root != locator:
         _DEFAULT_STORE = ArtifactStore()
     return _DEFAULT_STORE

@@ -11,6 +11,9 @@ the way `zigzag`-style DSE loops generalize a single cost-model query:
   point evaluations themselves fan out over ``--jobs`` workers);
 * :mod:`repro.sweep.manifest` — the planned/done ledger behind
   ``repro sweep --resume``;
+* :mod:`repro.sweep.ledger` — the claim-based work ledger that lets many
+  workers on many hosts drain one grid through a shared store
+  (``--store-url`` / ``--ledger``), exactly-once per live worker;
 * :mod:`repro.sweep.aggregate` — long-form tidy tables and N-dimensional
   Pareto frontiers over selectable objectives (``--objectives
   speedup,energy,dram``);
@@ -38,6 +41,12 @@ from repro.sweep.engine import (
     plan_sweep,
     run_sweep,
 )
+from repro.sweep.ledger import (
+    DEFAULT_CLAIM_TTL_S,
+    LedgerStats,
+    WorkLedger,
+    default_worker_id,
+)
 from repro.sweep.manifest import (
     SweepManifest,
     load_manifest,
@@ -59,7 +68,9 @@ from repro.sweep.spec import (
 
 __all__ = [
     "AXES",
+    "DEFAULT_CLAIM_TTL_S",
     "DEFAULT_OBJECTIVES",
+    "LedgerStats",
     "METRIC_HEADERS",
     "OBJECTIVES",
     "Objective",
@@ -69,7 +80,9 @@ __all__ = [
     "SweepPointResult",
     "SweepRunReport",
     "SweepSpec",
+    "WorkLedger",
     "all_sweeps",
+    "default_worker_id",
     "dominates",
     "execute_sweep",
     "expand",

@@ -42,10 +42,13 @@ from repro.runtime.keys import ArtifactKey
 from repro.runtime.runner import (
     GCoDTask,
     GCoDTaskError,
+    _execute_task_inline,
+    _task_error,
     pool_context,
     warm_tasks,
 )
 from repro.runtime.store import ArtifactStore
+from repro.sweep.ledger import WorkLedger
 from repro.sweep.manifest import (
     SweepManifest,
     begin_manifest,
@@ -144,6 +147,10 @@ class SweepRunReport:
     tasks_executed: int = 0
     gcod_runs: int = 0
     wall_s: float = 0.0
+    #: set when the sweep ran through the shared work ledger: this
+    #: worker's id and its claim accounting (claimed/lost/stale/waited).
+    worker: Optional[str] = None
+    ledger_stats: Optional[Dict[str, float]] = None
 
 
 def plan_sweep(context, spec: SweepSpec) -> SweepPlan:
@@ -415,13 +422,125 @@ def _evaluate_points_pooled(
                 say(f"  evaluated ({label})")
 
 
+def _warm_tasks_ledger(plan: SweepPlan, context, ledger: WorkLedger,
+                       say) -> None:
+    """Warm the unique training runs through shared-store claims.
+
+    Each worker claims a task, trains it inline, and persists the result;
+    peers sharing the store observe membership and skip. Exactly one
+    worker trains each pipeline — the multi-host counterpart of the
+    process-pool dedupe in :func:`~repro.runtime.runner.warm_tasks`.
+    """
+    if not plan.tasks:
+        return
+    store: ArtifactStore = context.store
+    say(f"warming {len(plan.tasks)} GCoD run(s) through the shared "
+        f"work ledger (worker {ledger.worker})")
+
+    def is_done(task: GCoDTask) -> bool:
+        return store.contains(task.key())
+
+    def work(task: GCoDTask) -> None:
+        try:
+            _execute_task_inline(context, task)
+        except GCoDTaskError:
+            raise
+        except Exception as exc:
+            raise _task_error(task, exc) from exc
+        say(f"  trained ({task.dataset}, {task.arch})")
+
+    ledger.drain(
+        {"gcod-" + task.key().digest: task for task in plan.tasks},
+        is_done, work,
+    )
+
+
+def _evaluate_points_ledger(
+    plan: SweepPlan,
+    context,
+    pending: List[int],
+    ledger: WorkLedger,
+    report: SweepRunReport,
+    say,
+) -> Dict[int, SweepPointResult]:
+    """Evaluate the pending points cooperatively via shared-store claims.
+
+    Every worker runs this same loop against the same store; the claim
+    protocol partitions the grid among them at point granularity, stale
+    claims of dead workers expire, and the loop only returns once *every*
+    pending point has a stored result — so any worker can then run the
+    final aggregation from store contents, byte-identical to a
+    single-host serial sweep. Returns the results this worker computed
+    (kept locally so a store whose writes degrade cannot stall the loop).
+    """
+    store: ArtifactStore = context.store
+    evaluator = _PointEvaluator(context)
+    local: Dict[int, SweepPointResult] = {}
+    total = len(plan.points)
+
+    def is_done(i: int) -> bool:
+        return i in local or store.contains(plan.keys[i])
+
+    def work(i: int) -> None:
+        point = plan.points[i]
+        try:
+            result = evaluator.evaluate(point)
+        except GCoDTaskError:
+            raise
+        except Exception as exc:
+            raise _point_error(point, exc) from exc
+        local[i] = result
+        store.put(plan.keys[i], result, summary=result.to_summary_dict())
+        report.points_evaluated += 1
+        say(f"  [{i + 1}/{total}] {point.label()}: "
+            f"{result.speedup_vs_awb:.2f}x vs AWB-GCN (claimed)")
+
+    say(f"evaluating {len(pending)} point(s) through the shared work "
+        f"ledger (worker {ledger.worker})")
+    ledger.drain(
+        {"point-" + plan.keys[i].digest: i for i in pending},
+        is_done, work,
+    )
+    return local
+
+
+def _resolve_ledger(ledger, store: Optional[ArtifactStore]):
+    """The :class:`WorkLedger` to use, or ``None`` for single-host mode.
+
+    ``ledger`` may be ``None`` (auto: on iff the store is shared across
+    hosts — an ``http(s)://`` locator), a bool (force on/off), or an
+    already-built :class:`WorkLedger` (tests tune TTL/poll).
+    """
+    if isinstance(ledger, WorkLedger):
+        return ledger
+    if ledger is None:
+        ledger = store is not None and store.is_remote
+    if not ledger:
+        return None
+    if store is None:
+        raise ConfigError(
+            "the shared work ledger needs an artifact store; drop "
+            "--no-cache (and point --store-url at a served store)"
+        )
+    return WorkLedger(store)
+
+
 def execute_sweep(
     plan: SweepPlan,
     context,
     jobs: int = 1,
     progress=None,
+    ledger=None,
 ) -> SweepRunReport:
-    """Phase 2: warm training runs, evaluate every point in grid order."""
+    """Phase 2: warm training runs, evaluate every point in grid order.
+
+    With ``ledger`` active (default whenever the context's store is a
+    shared/served one) the missing points are claimed through the store's
+    work ledger, so any number of workers on any number of hosts can run
+    this same call concurrently: each point is evaluated exactly once
+    among live workers, dead workers' claims expire, and every worker's
+    final collection pass aggregates the full grid from store contents.
+    """
     t0 = time.perf_counter()
     runs_before = counters.gcod_run_count()
     say = progress or (lambda msg: None)
@@ -431,10 +550,14 @@ def execute_sweep(
         deps_total=plan.deps_total,
         tasks_executed=len(plan.tasks),
     )
+    work_ledger = _resolve_ledger(ledger, store)
+    if work_ledger is not None:
+        report.worker = work_ledger.worker
 
     cached_set = set(plan.cached)
     pending = [i for i in range(len(plan.points)) if i not in cached_set]
-    pool_points = jobs > 1 and store is not None and len(pending) > 1
+    pool_points = (jobs > 1 and store is not None and len(pending) > 1
+                   and work_ledger is None)
 
     manifest: Optional[SweepManifest] = None
     if store is not None:
@@ -444,7 +567,15 @@ def execute_sweep(
             store, context, plan.spec, plan.points, plan.keys
         )
 
-    if jobs > 1 and store is not None:
+    if work_ledger is not None:
+        # Multi-worker mode: training dedupes through claims, not the
+        # process pool (each worker stays serial; parallelism is the
+        # worker fleet itself).
+        if jobs > 1:
+            say(f"shared work ledger active: jobs={jobs} applies per "
+                "worker fleet, training through claims")
+        _warm_tasks_ledger(plan, context, work_ledger, say)
+    elif jobs > 1 and store is not None:
         # warm_tasks is task-faithful on every path; pooling it here is
         # purely a parallelism win. It must cover *all* tasks before a
         # pooled evaluation starts, or workers sharing a pipeline would
@@ -453,14 +584,21 @@ def execute_sweep(
     elif plan.tasks:
         say(f"{len(plan.tasks)} GCoD run(s) will train inline")
 
+    ledger_results: Dict[int, SweepPointResult] = {}
     try:
         if pool_points:
             _evaluate_points_pooled(plan, context, pending, jobs, report, say)
+        if work_ledger is not None and pending:
+            ledger_results = _evaluate_points_ledger(
+                plan, context, pending, work_ledger, report, say
+            )
 
         evaluator = _PointEvaluator(context)
+        fetch_all = pool_points or work_ledger is not None
         for i, point in enumerate(plan.points):
-            result = None
-            if store is not None and (i in cached_set or pool_points):
+            result = ledger_results.get(i)
+            if result is None and store is not None and \
+                    (i in cached_set or fetch_all):
                 result = store.get(plan.keys[i])
                 if result is not None and i in cached_set:
                     report.cache_hits.append(i)
@@ -490,6 +628,8 @@ def execute_sweep(
             manifest.refresh(store)
             write_manifest(store, context, plan.spec, manifest)
 
+    if work_ledger is not None:
+        report.ledger_stats = work_ledger.stats.to_dict()
     report.gcod_runs = counters.gcod_run_count() - runs_before
     report.wall_s = time.perf_counter() - t0
     return report
@@ -501,6 +641,7 @@ def run_sweep(
     jobs: int = 1,
     progress=None,
     resume: bool = False,
+    ledger=None,
 ) -> SweepRunReport:
     """Plan then execute in one call; the ``repro sweep`` entry point.
 
@@ -540,4 +681,5 @@ def run_sweep(
         )
     if progress:
         progress(plan.describe())
-    return execute_sweep(plan, context, jobs=jobs, progress=progress)
+    return execute_sweep(plan, context, jobs=jobs, progress=progress,
+                         ledger=ledger)

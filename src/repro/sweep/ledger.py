@@ -1,0 +1,190 @@
+"""The distributed sweep work ledger: claim, work, release, expire.
+
+When many ``repro sweep`` workers — on one host or many — share a single
+artifact store, the store itself becomes the coordination substrate: the
+grid's missing points are the work queue, store membership is the "done"
+signal, and *claims* (atomic put-if-absent entries under the ``claim``
+kind, :meth:`ArtifactStore.claim`) are the mutual exclusion that keeps
+every point evaluated exactly once.
+
+The protocol, per work item:
+
+1. if the item's result is already stored (or a peer just produced it),
+   it is done — skip;
+2. otherwise try to claim ``<name>``; the backend's put-if-absent
+   guarantees exactly one of N racing workers wins;
+3. the winner does the work, persists the result, and releases the
+   claim; losers move on to the next item;
+4. a claim older than its TTL is *stale* — its worker died mid-point —
+   and any worker may break it and re-claim, so a pulled plug delays a
+   point by at most one TTL instead of stranding it forever.
+
+Exactly-once is guaranteed for live workers (the claim race has one
+winner, and results are checked before claiming). The stale-expiry path
+is at-least-once by design: if a "dead" worker was merely slow, the
+point is evaluated twice — but results are content-addressed and
+byte-identical, so the second write is a no-op semantically. TTLs only
+bound *crash recovery* latency; they are not a correctness knob.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.runtime.store import ArtifactStore
+
+#: default age at which a claim is considered abandoned by a dead worker.
+DEFAULT_CLAIM_TTL_S = 600.0
+#: default pause between passes over a fully-claimed pending set.
+DEFAULT_POLL_S = 0.5
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique per live worker process, debuggable."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class LedgerStats:
+    """What one worker's ledger did (surfaced via ``--stats-out``)."""
+
+    claimed: int = 0
+    lost: int = 0
+    stale_reclaimed: int = 0
+    released: int = 0
+    polls: int = 0
+    waited_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "claimed": self.claimed,
+            "lost": self.lost,
+            "stale_reclaimed": self.stale_reclaimed,
+            "released": self.released,
+            "polls": self.polls,
+            "waited_s": round(self.waited_s, 3),
+        }
+
+
+@dataclass
+class WorkLedger:
+    """Claim-based work distribution over one shared :class:`ArtifactStore`."""
+
+    store: ArtifactStore
+    worker: str = field(default_factory=default_worker_id)
+    ttl_s: float = DEFAULT_CLAIM_TTL_S
+    poll_s: float = DEFAULT_POLL_S
+    stats: LedgerStats = field(default_factory=LedgerStats)
+
+    # ------------------------------------------------------------------
+    # claim primitives
+    # ------------------------------------------------------------------
+    def _payload(self) -> Dict[str, object]:
+        return {
+            "worker": self.worker,
+            "claimed_at": time.time(),
+            "ttl_s": self.ttl_s,
+        }
+
+    def try_claim(self, name: str) -> bool:
+        """Try to become ``name``'s owner; True iff this worker won.
+
+        A claim whose age exceeds its own recorded TTL is broken and
+        re-claimed (the stale-expiry path for dead workers).
+        """
+        if self.store.claim(name, self._payload()):
+            self.stats.claimed += 1
+            return True
+        existing = self.store.read_claim(name)
+        if existing is None:
+            # Released (or unreadable — treated as stale) between our
+            # put-if-absent and the read: race for it once more.
+            if self.store.claim(name, self._payload()):
+                self.stats.claimed += 1
+                return True
+            self.stats.lost += 1
+            return False
+        try:
+            age = time.time() - float(existing.get("claimed_at", 0.0))
+            ttl = float(existing.get("ttl_s", self.ttl_s))
+        except (TypeError, ValueError):
+            age, ttl = float("inf"), 0.0  # garbled claim: stale
+        if age > ttl:
+            # The owner died mid-work. Break the claim and race for the
+            # replacement; at most one of the racing breakers wins the
+            # put-if-absent that follows.
+            self.store.release_claim(name)
+            if self.store.claim(name, self._payload()):
+                self.stats.stale_reclaimed += 1
+                return True
+        self.stats.lost += 1
+        return False
+
+    def release(self, name: str) -> None:
+        """Give up ``name`` (after its result landed in the store)."""
+        self.store.release_claim(name)
+        self.stats.released += 1
+
+    def wait(self) -> None:
+        """Pause before re-scanning a fully-claimed pending set."""
+        self.stats.polls += 1
+        self.stats.waited_s += self.poll_s
+        time.sleep(self.poll_s)
+
+    # ------------------------------------------------------------------
+    # the drain loop
+    # ------------------------------------------------------------------
+    def drain(
+        self,
+        items: Dict[str, object],
+        is_done: Callable[[object], bool],
+        work: Callable[[object], None],
+        on_skip: Optional[Callable[[object], None]] = None,
+    ) -> int:
+        """Run every item to completion, cooperating with peer workers.
+
+        ``items`` maps claim names to work items, in priority order.
+        Each pass over the pending set: finished items (``is_done`` —
+        typically store membership) are dropped, unclaimed items are
+        claimed and ``work``-ed here. When a pass makes no progress,
+        every pending item is claimed by a live peer — wait and re-scan;
+        peers' completions (or their claims going stale) unblock us.
+        Returns the number of items this worker actually worked.
+
+        ``work`` failures release the claim (a peer can retry) and
+        propagate — matching the engine's fail-loudly-and-resume
+        contract.
+        """
+        pending = dict(items)
+        worked = 0
+        while pending:
+            progress = False
+            for name, item in list(pending.items()):
+                if is_done(item):
+                    if on_skip is not None:
+                        on_skip(item)
+                    del pending[name]
+                    progress = True
+                    continue
+                if not self.try_claim(name):
+                    continue
+                try:
+                    # Re-check under the claim: the previous owner may
+                    # have finished right before its claim was released
+                    # or expired.
+                    if not is_done(item):
+                        work(item)
+                        worked += 1
+                    elif on_skip is not None:
+                        on_skip(item)
+                finally:
+                    self.release(name)
+                del pending[name]
+                progress = True
+            if pending and not progress:
+                self.wait()
+        return worked

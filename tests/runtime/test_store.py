@@ -9,6 +9,7 @@ import pytest
 
 from repro.algorithm import GCoDConfig
 from repro.runtime import keys as rkeys
+from repro.runtime.backends import StoreBackendError
 from repro.runtime.store import ArtifactStore, default_cache_dir
 
 SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
@@ -180,3 +181,99 @@ def test_put_on_unwritable_root_degrades(tmp_path, capsys):
 def test_default_cache_dir_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
     assert default_cache_dir() == str(tmp_path / "custom")
+
+
+# ---------------------------------------------------------------------------
+# crash-safety: degrade on unpicklable payloads, sidecar-first ordering,
+# stale-temp reclamation
+# ---------------------------------------------------------------------------
+
+def test_put_unpicklable_artifact_degrades(tmp_path, capsys):
+    store = ArtifactStore(str(tmp_path))
+    key = _gcod_key()
+    store.put(key, lambda x: x)  # lambdas cannot be pickled; must not raise
+    assert "could not persist" in capsys.readouterr().err
+    assert not store.contains(key)
+    assert store.get(key) is None
+    # nothing half-written: no stray files under the kind directory
+    assert not os.path.exists(store._data_path(key))
+    assert not os.path.exists(store._meta_path(key))
+
+
+def test_put_unpicklable_summary_degrades(tmp_path, capsys):
+    store = ArtifactStore(str(tmp_path))
+    key = _gcod_key()
+    # the artifact itself pickles fine; the *summary* cannot be made
+    # canonical JSON (sets are rejected by jsonable)
+    store.put(key, {"fine": True}, summary={"bad": {1, 2, 3}})
+    assert "could not persist" in capsys.readouterr().err
+    # degrade means no entry at all — never a blob with broken metadata
+    assert not store.contains(key)
+    # and the store still works afterwards
+    store.put(key, {"fine": True}, summary={"good": 1})
+    assert store.get(key) == {"fine": True}
+
+
+def test_put_killed_between_sidecar_and_data_is_invisible(tmp_path):
+    """A crash after the first write must not leave a listable entry.
+
+    The sidecar (.json) goes first precisely so that the entry-defining
+    .pkl appears only once its metadata is durable.
+    """
+    store = ArtifactStore(str(tmp_path))
+    key = _gcod_key()
+    backend = store.backend
+    writes = []
+    real_write = backend.write
+
+    def dying_write(kind, name, blob):
+        writes.append(name)
+        if len(writes) == 2:
+            raise StoreBackendError("simulated kill")  # .pkl never lands
+        return real_write(kind, name, blob)
+
+    backend.write = dying_write
+    try:
+        store.put(key, {"expensive": True})  # degrades, must not raise
+    finally:
+        backend.write = real_write
+
+    # write order is the safety property: metadata sidecar before data
+    assert writes[0].endswith(".json") and writes[1].endswith(".pkl")
+    # the interrupted entry is invisible everywhere
+    assert not store.contains(key)
+    assert store.get(key) is None
+    assert list(store.entries()) == []
+    assert store.stats()["total"]["entries"] == 0
+    # a later retry fully recovers (the orphan sidecar is overwritten)
+    store.put(key, {"expensive": True})
+    assert store.get(key) == {"expensive": True}
+    assert [e.digest for e in store.entries()] == [key.digest]
+
+
+def test_stale_temps_swept_on_init(tmp_path):
+    root = tmp_path / "store"
+    store = ArtifactStore(str(root))
+    store.put(_gcod_key(), "x")
+    kind_dir = root / "gcod"
+    import time as _time
+    old = kind_dir / ".tmp-dead-writer.part"
+    old.write_bytes(b"z" * 128)
+    ancient = _time.time() - 2 * ArtifactStore._STALE_TMP_S
+    os.utime(old, (ancient, ancient))
+    fresh = kind_dir / ".tmp-live-writer.part"
+    fresh.write_bytes(b"y" * 64)
+
+    reopened = ArtifactStore(str(root))
+    # the dead writer's orphan was reclaimed on open...
+    assert not old.exists()
+    assert reopened.reclaimed_tmp == 1
+    assert reopened.reclaimed_tmp_bytes == 128
+    # ...the possibly-in-flight fresh one was left alone, and is visible
+    # in stats under the tmp pseudo-kind (excluded from total)
+    assert fresh.exists()
+    stats = reopened.stats()
+    assert stats["tmp"] == {"entries": 1, "bytes": 64}
+    assert stats["total"]["entries"] == 1
+    # the real entry survived the sweep
+    assert reopened.get(_gcod_key()) == "x"

@@ -1,0 +1,220 @@
+"""Distributed-sweep tier: the shared-store work ledger.
+
+The acceptance contract (ISSUE 6): two workers pointed at one shared
+store and the same grid must split the points with *zero duplicate
+evaluations* (counter-asserted: their ``sweep_point_runs`` sum to the
+grid size) and each worker's final aggregation must be byte-identical to
+a single-host serial sweep. Stale claims of dead workers expire and get
+re-claimed, so a pulled plug never strands a point.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.evaluation import EvalContext
+from repro.runtime.runner import pool_context
+from repro.runtime.server import make_store_server
+from repro.runtime.store import ArtifactStore
+from repro.sweep import (
+    SweepSpec,
+    WorkLedger,
+    run_sweep,
+    sweep_report_text,
+)
+from repro.sweep import engine as eng
+
+MICRO_SCALES = {"cora": 0.06}
+
+#: 4 points, 2 unique training configs (bits is a platform axis).
+SPEC = SweepSpec(
+    name="ledger-grid",
+    title="ledger grid",
+    axes={
+        "C": (1, 2),
+        "bits": (32, 8),
+    },
+)
+
+
+def micro_ctx(store=None):
+    ctx = EvalContext(profile="fast", store=store)
+    ctx.dataset_scales = dict(MICRO_SCALES)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """``(text, points, gcod_runs)`` of a single-host serial run of SPEC."""
+    root = str(tmp_path_factory.mktemp("ledger-ref"))
+    report = run_sweep(micro_ctx(ArtifactStore(root)), SPEC, jobs=1)
+    assert report.worker is None  # no ledger on a plain local store
+    assert report.ledger_stats is None
+    return (sweep_report_text(SPEC, report.results),
+            report.points_evaluated, report.gcod_runs)
+
+
+# ---------------------------------------------------------------------------
+# WorkLedger unit behavior (real store, no sweep)
+# ---------------------------------------------------------------------------
+
+def test_claim_release_and_loss(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    a = WorkLedger(store, worker="a")
+    b = WorkLedger(store, worker="b")
+    assert a.try_claim("point-1")
+    assert not b.try_claim("point-1")  # live claim: b loses
+    assert b.stats.lost == 1
+    a.release("point-1")
+    assert b.try_claim("point-1")  # released: b wins the re-claim
+    assert a.stats.claimed == 1 and b.stats.claimed == 1
+
+
+def test_stale_claim_is_broken(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    # a dead worker's claim: old enough that its own TTL has lapsed
+    store.claim("point-1", {"worker": "dead", "claimed_at": time.time() - 99,
+                            "ttl_s": 1.0})
+    b = WorkLedger(store, worker="b")
+    assert b.try_claim("point-1")
+    assert b.stats.stale_reclaimed == 1
+    assert store.read_claim("point-1")["worker"] == "b"
+
+
+def test_garbled_claim_is_stale(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    store.claim("point-1", {"worker": "weird", "claimed_at": "not-a-time"})
+    b = WorkLedger(store, worker="b")
+    assert b.try_claim("point-1")  # unparseable metadata counts as stale
+    assert b.stats.stale_reclaimed == 1
+
+
+def test_drain_works_everything_once_and_releases(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    ledger = WorkLedger(store, worker="solo", poll_s=0.01)
+    done = set()
+    worked = []
+    count = ledger.drain(
+        {"w-1": 1, "w-2": 2, "w-3": 3},
+        is_done=lambda item: item in done,
+        work=lambda item: (worked.append(item), done.add(item)),
+    )
+    assert count == 3 and sorted(worked) == [1, 2, 3]
+    # every claim was released on the way out
+    assert store.backend.list_names("claim") == []
+    assert ledger.stats.claimed == 3 and ledger.stats.released == 3
+
+
+def test_drain_waits_out_a_live_peer(tmp_path):
+    """A fully-claimed pending set polls until the peer finishes."""
+    store = ArtifactStore(str(tmp_path))
+    store.claim("w-1", {"worker": "peer", "claimed_at": time.time(),
+                        "ttl_s": 600.0})
+    done = set()
+
+    def peer_finishes():
+        time.sleep(0.15)
+        done.add(1)
+        store.release_claim("w-1")
+
+    thread = threading.Thread(target=peer_finishes)
+    thread.start()
+    ledger = WorkLedger(store, worker="me", poll_s=0.02)
+    count = ledger.drain({"w-1": 1}, is_done=lambda i: i in done,
+                         work=lambda i: pytest.fail("peer owned this item"))
+    thread.join()
+    assert count == 0  # observed the peer's completion, did nothing
+    assert ledger.stats.polls >= 1 and ledger.stats.waited_s > 0
+
+
+# ---------------------------------------------------------------------------
+# two real workers, one shared store: exactly-once, byte-identical
+# ---------------------------------------------------------------------------
+
+def _sweep_worker(root, barrier, queue):
+    ctx = micro_ctx(ArtifactStore(root))
+    barrier.wait()
+    report = run_sweep(ctx, SPEC, ledger=True)
+    queue.put({
+        "worker": report.worker,
+        "points_evaluated": report.points_evaluated,
+        "gcod_runs": report.gcod_runs,
+        "ledger": report.ledger_stats,
+        "text": sweep_report_text(SPEC, report.results),
+    })
+
+
+def test_two_workers_share_one_store_exactly_once(tmp_path, reference):
+    ref_text, ref_points, ref_runs = reference
+    mp = pool_context()
+    barrier = mp.Barrier(2)
+    queue = mp.Queue()
+    procs = [
+        mp.Process(target=_sweep_worker, args=(str(tmp_path), barrier, queue))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=300) for _ in procs]
+    for p in procs:
+        p.join(timeout=300)
+        assert p.exitcode == 0
+
+    # exactly-once: the workers' evaluation counters sum to the grid
+    # size — zero duplicates, zero holes
+    assert sum(r["points_evaluated"] for r in results) == ref_points == 4
+    # the de-duplicated trainings were also split exactly once
+    assert sum(r["gcod_runs"] for r in results) == ref_runs
+    # each worker aggregated the full grid, byte-identical to serial
+    for r in results:
+        assert r["text"] == ref_text
+        assert r["worker"] is not None
+        assert r["ledger"] is not None
+    # no claims left behind
+    store = ArtifactStore(str(tmp_path))
+    assert store.backend.list_names("claim") == []
+    # ... and a warm rerun on the shared store evaluates nothing
+    warm = run_sweep(micro_ctx(ArtifactStore(str(tmp_path))), SPEC,
+                     ledger=True)
+    assert warm.points_evaluated == 0
+    assert sweep_report_text(SPEC, warm.results) == ref_text
+
+
+def test_ledger_auto_activates_on_served_store(tmp_path, reference):
+    ref_text, _ref_points, _ref_runs = reference
+    server = make_store_server(str(tmp_path / "served"), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        report = run_sweep(micro_ctx(ArtifactStore(server.url)), SPEC)
+        # no ledger flag anywhere: the http(s) locator alone switched the
+        # engine into ledger mode
+        assert report.worker is not None
+        assert report.ledger_stats is not None
+        assert report.ledger_stats["claimed"] >= 4
+        assert sweep_report_text(SPEC, report.results) == ref_text
+        assert ArtifactStore(server.url).backend.list_names("claim") == []
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_dead_workers_stale_claim_is_reclaimed(tmp_path, reference):
+    ref_text, _ref_points, _ref_runs = reference
+    store = ArtifactStore(str(tmp_path))
+    ctx = micro_ctx(store)
+    plan = eng.plan_sweep(ctx, SPEC)
+    # a worker died holding this point: its claim is older than its TTL
+    assert store.claim(
+        "point-" + plan.keys[0].digest,
+        {"worker": "unplugged", "claimed_at": time.time() - 99, "ttl_s": 1.0},
+    )
+    ledger = WorkLedger(store, worker="survivor", poll_s=0.05)
+    report = run_sweep(ctx, SPEC, ledger=ledger)
+    # the sweep completed the dead worker's point too
+    assert report.points_evaluated == 4
+    assert report.ledger_stats["stale_reclaimed"] >= 1
+    assert sweep_report_text(SPEC, report.results) == ref_text
+    assert store.backend.list_names("claim") == []
