@@ -1,0 +1,71 @@
+"""The lint baseline: grandfathered findings that do not fail the build.
+
+A baseline lets the linter land with real rules enabled even when the
+tree has known, consciously-deferred findings: the checked-in baseline
+file records their line-number-free fingerprints, ``repro lint`` exits 1
+only for findings *not* in it, and ``--update-baseline`` regenerates it.
+The shipped baseline is empty — PR 7 fixed the genuine violations
+instead of grandfathering them — but the mechanism is what keeps the
+rules adoptable as they grow stricter.
+
+Fingerprints exclude line numbers (see
+:meth:`~repro.analysis.core.Finding.fingerprint`) so unrelated edits
+that shift code do not resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+#: The packaged default, relative to the package root being linted.
+BASELINE_REL = "analysis/lint_baseline.json"
+
+
+def default_baseline_path(root: str) -> str:
+    return os.path.join(root, *BASELINE_REL.split("/"))
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The baselined fingerprints, or an empty set when absent/garbled.
+
+    A missing baseline means "nothing grandfathered" — the strictest
+    reading — and a garbled one is treated the same way so corruption
+    fails toward stricter linting, never toward hiding findings.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return set()
+    if isinstance(data, dict):
+        data = data.get("findings", [])
+    if not isinstance(data, list):
+        return set()
+    return {str(fp) for fp in data}
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the new baseline (sorted, deduplicated)."""
+    payload = {
+        "comment": "grandfathered `repro lint` findings; regenerate "
+                   "with `repro lint --update-baseline`",
+        "findings": sorted({f.fingerprint() for f in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baselined: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, grandfathered) against ``baselined``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in baselined else new).append(finding)
+    return new, old

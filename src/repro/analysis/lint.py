@@ -1,0 +1,117 @@
+"""The ``repro lint`` entry point: run rules, apply baseline, format.
+
+Exit-code contract (mirrored by the CLI and asserted in
+``tests/analysis/``): 0 = clean (baselined findings allowed), 1 = at
+least one *new* finding, 2 = usage error (unknown rule, unreadable
+root — raised as :class:`~repro.errors.ConfigError` and mapped by
+``repro.cli.main``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    default_baseline_path,
+    load_baseline,
+    split_by_baseline,
+)
+from repro.analysis.core import Finding, LintContext, run_rules
+from repro.analysis.rules import resolve_rules
+from repro.errors import ConfigError
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory — what CI lints."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+@dataclasses.dataclass
+class LintReport:
+    """One lint run: what was checked and what surfaced."""
+
+    root: str
+    rules: List[str]
+    findings: List[Finding]
+    baselined: List[Finding]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "root": self.root,
+            "rules": self.rules,
+            "findings": [f.to_jsonable() for f in self.findings],
+            "baselined": [f.to_jsonable() for f in self.baselined],
+            "exit_code": self.exit_code,
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        if self.baselined:
+            lines.append(
+                f"({len(self.baselined)} baselined finding(s) "
+                f"suppressed; `repro lint --update-baseline` refreshes "
+                f"the list)"
+            )
+        if not self.findings:
+            lines.append(
+                f"clean: {len(self.rules)} rule(s) over {self.root}"
+            )
+        else:
+            lines.append(
+                f"{len(self.findings)} new finding(s) from "
+                f"{len(self.rules)} rule(s) over {self.root}"
+            )
+        return "\n".join(lines)
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return json.dumps(self.to_jsonable(), indent=2) + "\n"
+        return self.render_text() + "\n"
+
+
+def lint_tree(
+    root: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    use_baseline: bool = True,
+) -> LintReport:
+    """Lint the package tree at ``root`` (default: the installed repro).
+
+    ``rules`` selects a subset by id; ``baseline`` overrides the packaged
+    baseline file path; ``use_baseline=False`` reports everything as new
+    (what ``--update-baseline`` uses to capture the full set).
+    """
+    root = os.path.abspath(root or default_lint_root())
+    if not os.path.isdir(root):
+        raise ConfigError(
+            f"lint root {root!r} is not a directory; pass the package "
+            f"directory (the one containing runtime/, sweep/, ...)"
+        )
+    selected = resolve_rules(rules)
+    ctx = LintContext(root)
+    if not ctx.files and not ctx.parse_errors:
+        raise ConfigError(f"lint root {root!r} contains no Python files")
+    findings = run_rules(ctx, selected)
+    baselined_fps = set()
+    if use_baseline:
+        baselined_fps = load_baseline(
+            baseline or default_baseline_path(root)
+        )
+    new, old = split_by_baseline(findings, baselined_fps)
+    return LintReport(
+        root=root,
+        rules=[r.id for r in selected],
+        findings=new,
+        baselined=old,
+    )

@@ -1,0 +1,150 @@
+"""Rule ``key-coverage``: cache keys must cover every config field.
+
+A PR 3 regression served stale entries because the memo keys missed
+``kernel_backend``/``scale``/``seed``. The structural fix: the key module
+(``runtime/keys.py``) carries an explicit ``KEY_FIELD_COVERAGE``
+declaration — for each key-relevant dataclass, which fields its key
+functions bake into the digest and which are deliberately exempt
+(presentation-only fields like a sweep's title). This rule diffs that
+declaration against the *actual* dataclass fields, read from source.
+
+Adding a field to ``GCoDConfig`` without touching ``runtime/keys.py`` is
+therefore a lint error: the new field is in the dataclass but in neither
+the covered nor the exempt set. The fix is to extend the coverage
+declaration (and bump ``CODE_SCHEMA_VERSION`` — the ``schema-drift``
+rule enforces that half) or to consciously mark the field exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintContext,
+    Rule,
+    dataclass_fields,
+    find_class,
+    literal_dict,
+)
+
+#: Where the coverage declaration lives.
+KEYS_MODULE = "runtime/keys.py"
+DECLARATION = "KEY_FIELD_COVERAGE"
+
+#: The key-relevant dataclasses and the modules that define them.
+SUBJECTS = {
+    "GCoDConfig": "algorithm/config.py",
+    "SweepSpec": "sweep/spec.py",
+}
+
+
+class KeyCoverageRule(Rule):
+    id = "key-coverage"
+    description = (
+        "every GCoDConfig/SweepSpec field is declared covered (or "
+        "exempt) by the key functions in runtime/keys.py"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        keys_src = ctx.get(KEYS_MODULE)
+        if keys_src is None:
+            return  # partial tree: structural rule needs the key module
+        coverage = literal_dict(keys_src, DECLARATION)
+        if not isinstance(coverage, dict):
+            yield Finding(
+                rule=self.id,
+                path=KEYS_MODULE,
+                line=1,
+                message=(
+                    f"{DECLARATION} is missing or not a pure literal "
+                    f"dict — the key-coverage contract cannot be checked"
+                ),
+                hint=f"declare {DECLARATION} as a literal dict mapping "
+                     f"class names to covered/exempt field tuples",
+            )
+            return
+        for cls_name, module_rel in SUBJECTS.items():
+            src = ctx.get(module_rel)
+            if src is None:
+                continue  # partial tree: skip subjects that are absent
+            class_node = find_class(src, cls_name)
+            if class_node is None:
+                yield Finding(
+                    rule=self.id,
+                    path=module_rel,
+                    line=1,
+                    message=f"expected dataclass {cls_name} not found",
+                    hint=f"update SUBJECTS in "
+                         f"repro/analysis/rules/cache_keys.py if "
+                         f"{cls_name} moved",
+                )
+                continue
+            actual = [name for name, _, _ in dataclass_fields(class_node)]
+            declared = coverage.get(cls_name)
+            if not isinstance(declared, dict):
+                yield Finding(
+                    rule=self.id,
+                    path=KEYS_MODULE,
+                    line=1,
+                    message=f"{DECLARATION} has no entry for {cls_name}",
+                    hint=f"add {cls_name!r}: {{'covered': (...), "
+                         f"'exempt': (...)}}",
+                )
+                continue
+            covered = tuple(declared.get("covered", ()))
+            exempt = tuple(declared.get("exempt", ()))
+            overlap = sorted(set(covered) & set(exempt))
+            if overlap:
+                yield Finding(
+                    rule=self.id,
+                    path=KEYS_MODULE,
+                    line=1,
+                    message=(
+                        f"{cls_name} fields declared both covered and "
+                        f"exempt: {', '.join(overlap)}"
+                    ),
+                    hint="a field is either baked into the key or "
+                         "consciously excluded — never both",
+                )
+            known = set(covered) | set(exempt)
+            for name in actual:
+                if name not in known:
+                    line = class_node.lineno
+                    for stmt in class_node.body:
+                        if getattr(getattr(stmt, "target", None),
+                                   "id", None) == name:
+                            line = stmt.lineno
+                            break
+                    yield Finding(
+                        rule=self.id,
+                        path=module_rel,
+                        line=line,
+                        message=(
+                            f"{cls_name}.{name} is not covered by the "
+                            f"cache keys in {KEYS_MODULE} — a run "
+                            f"varying only this field would share a "
+                            f"digest with one that does not"
+                        ),
+                        hint=(
+                            f"add {name!r} to "
+                            f"{DECLARATION}[{cls_name!r}]['covered'] in "
+                            f"{KEYS_MODULE} and bump "
+                            f"CODE_SCHEMA_VERSION; or, if the field can "
+                            f"never change what a cached artifact "
+                            f"means, to ['exempt']"
+                        ),
+                    )
+            for name in sorted(known - set(actual)):
+                yield Finding(
+                    rule=self.id,
+                    path=KEYS_MODULE,
+                    line=1,
+                    message=(
+                        f"{DECLARATION} names {cls_name}.{name}, which "
+                        f"no longer exists on the dataclass"
+                    ),
+                    hint=f"remove the stale {name!r} entry (and bump "
+                         f"CODE_SCHEMA_VERSION if the field was renamed "
+                         f"rather than dropped)",
+                )

@@ -1,0 +1,102 @@
+"""Rule ``except-swallow``: broad handlers must re-raise or leave a note.
+
+The codebase has two established shapes for ``except Exception``:
+
+* **wrap and re-raise** — the runner/engine pattern: catch, wrap in a
+  task-scoped error type, ``raise ... from exc``;
+* **degrade with a stderr note** — the store pattern: a cache that
+  cannot persist must not crash the run that produced an expensive
+  result, but it says so on stderr (``_degrade_note``).
+
+What is *not* acceptable is a broad handler that silently swallows: it
+turns store corruption, programming errors, and ``KeyboardInterrupt``
+lookalikes into invisible cache misses (the pre-PR-7 ``store.get`` did
+exactly this). This rule flags bare ``except:`` and ``except
+Exception/BaseException`` handlers whose body neither re-raises nor
+emits a diagnostic. Narrowing the handler to the concrete failure set is
+the preferred fix; the suppression comment is the escape hatch for the
+rare justified swallow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintContext,
+    Rule,
+    dotted_name,
+)
+
+#: Exception names that make a handler "broad".
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Call-name fragments accepted as "leaves a diagnostic".
+_NOTE_FRAGMENTS = ("note", "warn")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [dotted_name(e) for e in handler.type.elts]
+    else:
+        names = [dotted_name(handler.type)]
+    return any(n.split(".")[-1] in BROAD_NAMES for n in names)
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    """True when the body re-raises or emits a diagnostic."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            last = name.split(".")[-1].lower()
+            if any(frag in last for frag in _NOTE_FRAGMENTS):
+                return True
+            # print(..., file=sys.stderr) and logger-style calls
+            for kw in node.keywords:
+                if kw.arg == "file" and \
+                        dotted_name(kw.value).endswith("stderr"):
+                    return True
+            if name.split(".")[0] in ("logger", "logging", "log"):
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    id = "except-swallow"
+    description = (
+        "no bare/broad `except Exception` that swallows silently — "
+        "narrow it, re-raise, or leave a stderr note"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for src in ctx.iter_files():
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_broad(node):
+                    continue
+                if _handles(node):
+                    continue
+                caught = "bare except" if node.type is None else \
+                    f"except {ast.unparse(node.type)}"
+                yield Finding(
+                    rule=self.id,
+                    path=src.rel,
+                    line=node.lineno,
+                    message=f"{caught} swallows without re-raising or "
+                            f"noting the failure",
+                    hint=(
+                        "narrow to the concrete failure set, wrap and "
+                        "`raise ... from exc`, or print a degrade note "
+                        "to stderr; a justified silent swallow gets "
+                        "`# repro: lint-ok[except-swallow]` with a "
+                        "comment saying why"
+                    ),
+                )

@@ -37,6 +37,14 @@ Commands
     sweep engine then coordinates through the store's work ledger, so N
     workers running the same grid split the points with zero duplicate
     evaluations (``--stats-out`` writes each worker's counters as JSON).
+``lint``
+    Run the AST-based invariant checker (:mod:`repro.analysis`) over the
+    installed ``repro`` source tree (or an explicit path): determinism,
+    cache-key coverage, schema drift, store-write discipline, exception
+    hygiene, registry consistency. ``--format json`` for machines,
+    ``--rules a,b`` for a subset, ``--update-baseline``/``--write-golden``
+    to refresh the checked-in state. Exits 0 clean / 1 new findings /
+    2 usage.
 
 All commands share ``--profile``, ``--kernel-backend``, and the artifact
 store flags: results persist under ``--cache-dir`` (default
@@ -69,6 +77,7 @@ from repro.runtime.registry import (
     experiment_names,
     get_experiment,
 )
+from repro.runtime.keys import ALL_KINDS
 from repro.runtime.store import ArtifactStore, default_cache_dir
 from repro.sparse.kernels import available_backends, set_default_backend
 
@@ -398,6 +407,43 @@ def _cmd_cache(args, ctx: EvalContext) -> int:
     return 0
 
 
+def _cmd_lint(args, ctx: EvalContext) -> int:
+    from repro.analysis import lint_tree, write_baseline
+    from repro.analysis.rules.schema_drift import write_golden as \
+        regenerate_golden
+    from repro.analysis.core import LintContext
+
+    root = args.path  # None -> the installed repro package
+    if args.write_golden:
+        # Regenerate the schema fingerprint first so the run below
+        # reports the post-refresh state, not the stale golden.
+        from repro.analysis.lint import default_lint_root
+
+        target = os.path.abspath(root or default_lint_root())
+        written = regenerate_golden(LintContext(target))
+        if written is None:
+            print("cannot regenerate the schema golden: the tree is "
+                  "missing declared shape modules", file=sys.stderr)
+            return 2
+        print(f"wrote {written}", file=sys.stderr)
+    report = lint_tree(
+        root=root,
+        rules=args.rules,
+        baseline=args.baseline,
+        use_baseline=not args.update_baseline,
+    )
+    if args.update_baseline:
+        from repro.analysis.baseline import default_baseline_path
+
+        path = args.baseline or default_baseline_path(report.root)
+        write_baseline(path, report.findings)
+        print(f"baselined {len(report.findings)} finding(s) into {path}",
+              file=sys.stderr)
+        return 0
+    print(report.render(args.format), end="")
+    return report.exit_code
+
+
 def _cmd_store(args, ctx: EvalContext) -> int:
     from repro.runtime.server import serve_store
 
@@ -507,11 +553,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("cache", help="inspect the artifact store")
     p_cache.add_argument("action", choices=("ls", "stats", "clear"))
-    p_cache.add_argument("--kind", default=None,
-                         help="restrict to one artifact kind "
-                              "(graph/gcod/trace/experiment/sweep/"
-                              "manifest)")
+    # choices derive from the kind constants so the CLI can never drift
+    # from the store layout (the old hand-written help text omitted
+    # `claim`); `repro lint`'s registry-sync rule enforces this.
+    p_cache.add_argument("--kind", default=None, choices=ALL_KINDS,
+                         help="restrict to one artifact kind")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_lint = sub.add_parser("lint", help="AST-based invariant checker")
+    p_lint.add_argument("path", nargs="?", default=None,
+                        help="package directory to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="finding output format")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule subset (default: all; "
+                             "ids: determinism, key-coverage, "
+                             "schema-drift, store-write, except-swallow, "
+                             "registry-sync)")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of grandfathered findings "
+                             "(default: analysis/lint_baseline.json in "
+                             "the linted tree)")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current "
+                             "findings instead of failing on them")
+    p_lint.add_argument("--write-golden", action="store_true",
+                        help="regenerate the schema-drift golden "
+                             "fingerprint from the current tree")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_store = sub.add_parser("store", help="shared artifact-store server")
     p_store.add_argument("action", choices=("serve",))

@@ -39,6 +39,68 @@ KIND_MANIFEST = "manifest"
 #: artifacts — they carry liveness metadata, not computation results).
 KIND_CLAIM = "claim"
 
+#: Every artifact kind, in store-listing order. CLI surfaces (the cache
+#: ``--kind`` filter) derive their choices from this tuple — never a
+#: hand-maintained list, which is how ``claim`` went missing from the
+#: PR 6 help text (`repro lint`'s registry-sync rule now guards this).
+ALL_KINDS = (
+    KIND_GRAPH,
+    KIND_GCOD,
+    KIND_TRACE,
+    KIND_EXPERIMENT,
+    KIND_SWEEP,
+    KIND_MANIFEST,
+    KIND_CLAIM,
+)
+
+#: The cache-key coverage contract, checked by `repro lint`'s
+#: key-coverage rule: for each key-relevant dataclass, every field must
+#: appear in exactly one of these tuples. ``covered`` fields reach the
+#: digest (GCoDConfig travels wholesale through :func:`jsonable` in
+#: :func:`gcod_key`/:func:`sweep_point_key`; SweepSpec contributes its
+#: ``axes`` to :func:`sweep_manifest_key`); ``exempt`` fields are
+#: consciously presentation-only (a sweep's registered name and title
+#: must NOT enter the manifest key — `--grid` spellings of the same axes
+#: resume the same manifest). Adding a dataclass field without extending
+#: this declaration (and bumping :data:`CODE_SCHEMA_VERSION`) is a lint
+#: error — the exact regression that once served stale entries when memo
+#: keys missed ``kernel_backend``/``scale``/``seed``. Must stay a pure
+#: literal: the lint rule reads it from source without importing.
+KEY_FIELD_COVERAGE = {
+    "GCoDConfig": {
+        "covered": (
+            "num_classes",
+            "num_groups",
+            "num_subgraphs",
+            "pretrain_epochs",
+            "early_bird",
+            "early_bird_threshold",
+            "early_bird_patience",
+            "early_bird_prune_ratio",
+            "prune_ratio",
+            "pola_weight",
+            "admm_rho",
+            "admm_iterations",
+            "admm_inner_steps",
+            "admm_lr",
+            "protect_connectivity",
+            "patch_threshold",
+            "patch_size",
+            "off_diagonal_only",
+            "retrain_epochs",
+            "lr",
+            "weight_decay",
+            "seed",
+            "kernel_backend",
+        ),
+        "exempt": (),
+    },
+    "SweepSpec": {
+        "covered": ("axes",),
+        "exempt": ("name", "title", "description"),
+    },
+}
+
 
 def jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-stable primitives.
@@ -234,7 +296,9 @@ def experiment_key(
 
 
 __all__: Tuple[str, ...] = (
+    "ALL_KINDS",
     "CODE_SCHEMA_VERSION",
+    "KEY_FIELD_COVERAGE",
     "KIND_CLAIM",
     "KIND_EXPERIMENT",
     "KIND_GCOD",

@@ -171,9 +171,22 @@ class ArtifactStore:
             return pickle.loads(blob)
         except MemoryError:
             return None  # memory pressure: the stored bytes may be fine
-        except Exception:
-            # Truncated/garbled pickle or incompatible class layout:
-            # recover by dropping the entry so the caller recomputes it.
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, KeyError, TypeError,
+                ValueError) as exc:
+            # The concrete ways a stored blob fails to load: truncated or
+            # garbled pickle (UnpicklingError/EOFError/IndexError/
+            # ValueError/KeyError) and a stale class layout from an older
+            # code version (AttributeError/ImportError/TypeError).
+            # Recover by dropping the entry so the caller recomputes it —
+            # with a note, so corruption is visible instead of reading as
+            # an ordinary miss. Anything outside this set propagates:
+            # swallowing an unexpected error here hid real bugs before.
+            import sys
+
+            print(f"artifact store: dropping corrupted entry {key.short} "
+                  f"({type(exc).__name__}: {exc}); recomputing",
+                  file=sys.stderr)
             self.invalidate(key)
             return None
 

@@ -77,6 +77,32 @@ DEFAULT_OBJECTIVES: Tuple[str, str] = ("speedup", "accuracy")
 ObjectivesLike = Union[None, str, Sequence[Union[str, Objective]]]
 
 
+def _unknown_objective_error(name: str) -> ConfigError:
+    """Usage error for a bad ``--objectives`` name, with a near-miss hint.
+
+    Mirrors the grid-axis and sweep-name UX: a case slip (``Energy``) or
+    a one-edit-away spelling (``dram_bytes``) exits 2 with the intended
+    name instead of a raw unknown-objective line.
+    """
+    import difflib
+
+    folded = str(name).casefold()
+    by_fold = {o.casefold(): o for o in OBJECTIVES}
+    close = (
+        by_fold.get(folded)
+        # a unit/suffix slip: `dram_bytes`, `latency_ms`
+        or next((o for o in OBJECTIVES if folded.startswith(o.casefold())),
+                None)
+        or next(iter(difflib.get_close_matches(str(name), OBJECTIVES,
+                                               n=1, cutoff=0.6)), None)
+    )
+    suggestion = f" (did you mean {close!r}?)" if close else ""
+    return ConfigError(
+        f"unknown objective {name!r}{suggestion}; choose from "
+        f"{', '.join(OBJECTIVES)}"
+    )
+
+
 def resolve_objectives(objectives: ObjectivesLike) -> Tuple[Objective, ...]:
     """Normalize an objective selection into :class:`Objective` instances.
 
@@ -96,10 +122,7 @@ def resolve_objectives(objectives: ObjectivesLike) -> Tuple[Objective, ...]:
             resolved.append(obj)
             continue
         if obj not in OBJECTIVES:
-            raise ConfigError(
-                f"unknown objective {obj!r}; choose from "
-                f"{', '.join(OBJECTIVES)}"
-            )
+            raise _unknown_objective_error(obj)
         resolved.append(OBJECTIVES[obj])
     if not resolved:
         raise ConfigError(

@@ -73,7 +73,19 @@ def test_unknown_objectives_exit_2(capsys):
     )
     assert code == 2
     assert "unknown objective 'speed'" in err
+    assert "did you mean 'speedup'?" in err
     assert "choose from" in err
+
+
+def test_misspelled_objective_exits_2_with_hint(capsys):
+    """`Energy`/`dram_bytes` misspellings exit 2 with the intended name
+    instead of a raw error — before any planning or training."""
+    for bad, want in (("Energy", "energy"), ("dram_bytes", "dram")):
+        code, _, err = run_cli(
+            ["sweep", "--grid", "C=1", "--objectives", bad], capsys
+        )
+        assert code == 2
+        assert f"did you mean {want!r}?" in err
 
 
 def test_resume_without_manifest_exits_2(tmp_path, capsys):

@@ -1,0 +1,103 @@
+"""Output bytes survive a poisoned wall clock and a booby-trapped RNG.
+
+The static ``determinism`` lint rule bans entropy sources from the
+key-derivation and serialization modules; this is the matching *runtime*
+regression: freeze ``time.time`` at an absurd value, make every stdlib
+``random`` entry point raise, and assert that a cold run still produces
+the same artifact bytes as a cold run against the real clock. Catches
+what the AST pass cannot — entropy smuggled in through an allowlisted
+helper or a third-party call.
+"""
+
+import random
+import time
+
+from repro.cli import main
+
+GRID = "dataset=cora;C=1;S=2;bits=32,8;hw_scale=0.5,1.0"
+
+#: far-future constant: any artifact byte derived from time.time() would
+#: differ from the golden produced against the real clock.
+FROZEN_CLOCK = 4.0e9
+
+POISONED_RANDOM_FNS = (
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "seed",
+)
+
+
+def _trap(name):
+    def poisoned(*args, **kwargs):
+        raise AssertionError(
+            f"stdlib random.{name}() was called on an output-producing "
+            f"path; seeded numpy generators are the only sanctioned RNG"
+        )
+    return poisoned
+
+
+def poison_entropy(mp):
+    mp.setattr(time, "time", lambda: FROZEN_CLOCK)
+    mp.setattr(time, "time_ns", lambda: int(FROZEN_CLOCK * 1e9))
+    for fn in POISONED_RANDOM_FNS:
+        mp.setattr(random, fn, _trap(fn))
+
+
+def cold_sweep_json(cache, out_dir, capsys):
+    code = main(["--cache-dir", str(cache), "sweep", "--grid", GRID,
+                 "--format", "json", "--out", str(out_dir), "--quiet"])
+    capsys.readouterr()  # drain progress chatter
+    assert code == 0
+    return (out_dir / "custom.json").read_bytes()
+
+
+def cold_report_json(cache, out_dir, capsys):
+    code = main(["--cache-dir", str(cache), "report",
+                 "--experiments", "tab03", "--format", "json",
+                 "--out", str(out_dir), "--quiet"])
+    capsys.readouterr()
+    assert code == 0
+    # compare the per-experiment artifact, not report.json: the run
+    # summary legitimately records wall-clock timings
+    return (out_dir / "tab03.json").read_bytes()
+
+
+def cold_sweep_stdout(cache, capsys):
+    code = main(["--cache-dir", str(cache), "sweep", "--grid", GRID])
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_sweep_artifacts_are_entropy_free(tmp_path, capsys, monkeypatch):
+    """Cold run on the real clock, then a cold run with frozen time and
+    a trapped RNG (separate store): byte-identical ``custom.json``."""
+    golden = cold_sweep_json(tmp_path / "c1", tmp_path / "o1", capsys)
+    with monkeypatch.context() as mp:
+        poison_entropy(mp)
+        poisoned = cold_sweep_json(tmp_path / "c2", tmp_path / "o2",
+                                   capsys)
+    assert poisoned == golden
+
+
+def test_report_artifacts_are_entropy_free(tmp_path, capsys, monkeypatch):
+    """Same contract for ``repro report`` per-experiment JSON files."""
+    golden = cold_report_json(tmp_path / "c1", tmp_path / "o1", capsys)
+    with monkeypatch.context() as mp:
+        poison_entropy(mp)
+        poisoned = cold_report_json(tmp_path / "c2", tmp_path / "o2",
+                                    capsys)
+    assert poisoned == golden
+
+
+def test_sweep_markdown_stdout_is_entropy_free(tmp_path, capsys,
+                                               monkeypatch):
+    """The human-facing table too, and warm-over-poisoned-cold reuse:
+    a warm rerun in the *same* poisoned store still matches the real-
+    clock golden (cache keys contain no entropy either way)."""
+    golden = cold_sweep_stdout(tmp_path / "c1", capsys)
+    with monkeypatch.context() as mp:
+        poison_entropy(mp)
+        poisoned = cold_sweep_stdout(tmp_path / "c2", capsys)
+        warm = cold_sweep_stdout(tmp_path / "c2", capsys)
+    assert poisoned == golden
+    assert warm == golden

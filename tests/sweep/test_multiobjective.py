@@ -102,6 +102,22 @@ def test_unknown_objective_names_the_known_set():
         resolve_objectives("nope")
 
 
+def test_unknown_objective_suggests_near_misses():
+    """A case slip, a unit suffix, and a truncation each get the
+    intended name back — same did-you-mean UX as grid axes and sweep
+    names."""
+    with pytest.raises(ConfigError, match="did you mean 'energy'"):
+        resolve_objectives("Energy")
+    with pytest.raises(ConfigError, match="did you mean 'dram'"):
+        resolve_objectives("dram_bytes")
+    with pytest.raises(ConfigError, match="did you mean 'speedup'"):
+        resolve_objectives("speed")
+    # a name nothing resembles gets the plain known-set message
+    with pytest.raises(ConfigError) as exc:
+        resolve_objectives("zzz")
+    assert "did you mean" not in str(exc.value)
+
+
 def test_duplicate_and_empty_objectives_refused():
     with pytest.raises(ConfigError, match="repeats"):
         resolve_objectives("speedup,speedup")
