@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import shutil
 import sys
@@ -52,6 +51,7 @@ from repro.runtime import CODE_SCHEMA_VERSION, counters
 from repro.runtime.keys import KIND_SWEEP
 from repro.runtime.store import ArtifactStore
 from repro.sweep import SweepSpec, run_sweep, sweep_report_text
+from repro.utils import effective_cpu_count
 
 #: 2 x 2 x 2 x 3 = 24 points, 4 unique training runs — the same shape as
 #: the acceptance grid in tests/sweep/test_engine.py, at CI-fast scale.
@@ -247,7 +247,7 @@ def main(argv=None) -> int:
     point_eval = bench_point_eval(args.jobs, args.point_jobs)
     shared = bench_shared_store()
 
-    cpus = os.cpu_count() or 1
+    cpus = effective_cpu_count()
     point_gate_enforced = cpus >= args.point_jobs
     speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
     payload = {

@@ -1,6 +1,6 @@
 """Rule ``registry-sync``: registries and CLI surfaces cannot drift.
 
-Three drift classes this catches, all of which have bitten registries
+Four drift classes this catches, all of which have bitten registries
 like this one before:
 
 * an experiment module under ``evaluation/experiments/`` that never
@@ -13,7 +13,13 @@ like this one before:
   artifact kinds) but is spelled as a hard-coded literal — the PR 6 CLI
   listed artifact kinds by hand and silently omitted ``claim``. Such
   arguments must derive their ``choices`` from the registry (a name or
-  call), never a literal tuple.
+  call), never a literal tuple;
+* a kernel-backend class under ``sparse/kernels/`` (a concrete ``name``
+  on a ``*Backend`` subclass) that the kernels package never wires up —
+  neither ``register_backend(Cls())`` nor a
+  ``register_lazy_backend("name", ...)`` entry. Such a backend imports
+  fine but can never be requested: ``backend_choices()`` (and with it
+  every CLI surface) omits it.
 """
 
 from __future__ import annotations
@@ -32,10 +38,15 @@ EXPERIMENTS_DIR = "evaluation/experiments/"
 EXPERIMENTS_INIT = "evaluation/experiments/__init__.py"
 REGISTER_CALL = "register_experiment"
 
+KERNELS_DIR = "sparse/kernels/"
+KERNELS_INIT = "sparse/kernels/__init__.py"
+REGISTER_BACKEND_CALL = "register_backend"
+REGISTER_LAZY_CALL = "register_lazy_backend"
+
 #: CLI arguments whose choices mirror a registry and must stay dynamic.
 DYNAMIC_CHOICE_FLAGS = {
     "--kernel-backend": "the kernel registry "
-                        "(repro.sparse.kernels.available_backends)",
+                        "(repro.sparse.kernels.backend_choices)",
     "--kind": "the artifact-kind constants (repro.runtime.keys.ALL_KINDS)",
 }
 
@@ -52,6 +63,7 @@ class RegistrySyncRule(Rule):
         yield from self._check_experiment_modules(ctx)
         yield from self._check_experiments_init(ctx)
         yield from self._check_cli_choices(ctx)
+        yield from self._check_kernel_backends(ctx)
 
     # ------------------------------------------------------------------
     def _experiment_modules(self, ctx: LintContext):
@@ -111,6 +123,72 @@ class RegistrySyncRule(Rule):
                     hint=f"import {module} in {EXPERIMENTS_INIT} (and "
                          f"add it to __all__)",
                 )
+
+    # ------------------------------------------------------------------
+    def _kernel_backend_classes(self, ctx: LintContext):
+        """Concrete backend classes: ``class XBackend(...Backend)`` with a
+        class-level ``name = "<literal>"`` other than ``abstract``."""
+        for src in ctx.iter_files(prefixes=(KERNELS_DIR,)):
+            if src.rel == KERNELS_INIT:
+                continue
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if not any(dotted_name(b).split(".")[-1].endswith("Backend")
+                           for b in node.bases):
+                    continue
+                backend_name = None
+                for stmt in node.body:
+                    if (isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1
+                            and isinstance(stmt.targets[0], ast.Name)
+                            and stmt.targets[0].id == "name"
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str)):
+                        backend_name = stmt.value.value
+                if backend_name is None or backend_name == "abstract":
+                    continue
+                yield src, node, backend_name
+
+    def _check_kernel_backends(self, ctx: LintContext):
+        init = ctx.get(KERNELS_INIT)
+        if init is None:
+            return  # partial tree
+        registered_classes = set()
+        lazy_names = set()
+        for node in ast.walk(init.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func).split(".")[-1]
+            if callee == REGISTER_BACKEND_CALL and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Call):  # register_backend(Cls())
+                    registered_classes.add(
+                        dotted_name(arg.func).split(".")[-1]
+                    )
+            elif callee == REGISTER_LAZY_CALL and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value,
+                                                                str):
+                    lazy_names.add(arg.value)
+        for src, cls, backend_name in self._kernel_backend_classes(ctx):
+            if cls.name in registered_classes or backend_name in lazy_names:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=src.rel,
+                line=cls.lineno,
+                message=(
+                    f"backend class {cls.name!r} (name="
+                    f"{backend_name!r}) is never registered in "
+                    f"{KERNELS_INIT} — backend_choices() and every CLI "
+                    f"surface will omit it"
+                ),
+                hint=f"call {REGISTER_BACKEND_CALL}({cls.name}()) in "
+                     f"{KERNELS_INIT}, or {REGISTER_LAZY_CALL}"
+                     f"({backend_name!r}, loader, fallback=...) for a "
+                     f"probed tier",
+            )
 
     def _check_cli_choices(self, ctx: LintContext):
         cli = ctx.get("cli.py")

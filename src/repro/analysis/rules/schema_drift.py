@@ -50,6 +50,7 @@ SERIALIZED_SHAPES: Dict[str, Tuple[str, ...]] = {
     "sweep/manifest.py": ("SweepManifest",),
     "evaluation/context.py": ("ExperimentResult",),
     "runtime/store.py": ("StoreEntry",),
+    "serve/schema.py": ("ServeRequest", "ServeResponse"),
 }
 
 

@@ -37,6 +37,13 @@ Commands
     sweep engine then coordinates through the store's work ledger, so N
     workers running the same grid split the points with zero duplicate
     evaluations (``--stats-out`` writes each worker's counters as JSON).
+``serve``
+    Run the batched inference service: clients send line-delimited JSON
+    graph queries (dataset / arch / kernel backend) over TCP; queries
+    already in the artifact store answer warm (no training), cold ones
+    micro-batch per (dataset, arch, backend) inside a ``--max-batch`` /
+    ``--max-wait-ms`` window so one training dispatch serves every
+    identical query in the window. See :mod:`repro.serve`.
 ``lint``
     Run the AST-based invariant checker (:mod:`repro.analysis`) over the
     installed ``repro`` source tree (or an explicit path): determinism,
@@ -79,7 +86,7 @@ from repro.runtime.registry import (
 )
 from repro.runtime.keys import ALL_KINDS
 from repro.runtime.store import ArtifactStore, default_cache_dir
-from repro.sparse.kernels import available_backends, set_default_backend
+from repro.sparse.kernels import backend_choices, set_default_backend
 
 
 def __getattr__(name: str):
@@ -444,6 +451,50 @@ def _cmd_lint(args, ctx: EvalContext) -> int:
     return report.exit_code
 
 
+def _parse_scales(text: Optional[str]) -> dict:
+    """Parse ``--dataset-scale "cora=0.1,nell=0.02"`` into a dict."""
+    scales: dict = {}
+    if not text:
+        return scales
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        if not sep or not name.strip():
+            raise ConfigError(
+                f"--dataset-scale wants name=scale pairs, got {part!r}"
+            )
+        try:
+            scales[name.strip()] = float(value)
+        except ValueError:
+            raise ConfigError(
+                f"--dataset-scale {name.strip()!r} wants a number, "
+                f"got {value!r}"
+            ) from None
+    return scales
+
+
+def _cmd_serve(args, ctx: EvalContext) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.serve import ServeSettings, run_serve
+
+    scales = _parse_scales(args.dataset_scale)
+    if scales or args.seed is not None:
+        ctx = dc_replace(
+            ctx,
+            dataset_scales=scales or ctx.dataset_scales,
+            seed=args.seed if args.seed is not None else ctx.seed,
+        )
+    settings = ServeSettings(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, workers=args.workers,
+        verbose=args.verbose,
+    )
+    return run_serve(ctx, settings)
+
+
 def _cmd_store(args, ctx: EvalContext) -> int:
     from repro.runtime.server import serve_store
 
@@ -467,10 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--profile", choices=("fast", "full"), default="fast",
                         help="experiment scale profile")
-    parser.add_argument("--kernel-backend", choices=available_backends(),
+    # backend_choices() (not available_backends()) so lazily-probed tiers
+    # like `compiled` are always requestable; an unavailable tier resolves
+    # to its fallback with a stderr note instead of an argparse error.
+    parser.add_argument("--kernel-backend", choices=backend_choices(),
                         default=None,
                         help="SpMM kernel backend for all numerics "
-                             "(default: vectorized)")
+                             "(default: vectorized; `compiled` falls back "
+                             "to vectorized when numba is unavailable)")
     parser.add_argument("--cache-dir", default=None,
                         help="artifact store location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-gcod)")
@@ -559,6 +614,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--kind", default=None, choices=ALL_KINDS,
                          help="restrict to one artifact kind")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_srv = sub.add_parser("serve", help="batched inference service")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8731,
+                       help="bind port (default: 8731; 0 picks a free "
+                            "port, reported on the listening line)")
+    p_srv.add_argument("--max-batch", type=int, default=16,
+                       help="flush a cold micro-batch at this many "
+                            "requests (default: 16)")
+    p_srv.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="flush a cold micro-batch this many ms after "
+                            "its first request (default: 5)")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="training executor width (default: 1 = "
+                            "dispatches serialize)")
+    p_srv.add_argument("--seed", type=int, default=None,
+                       help="context seed (default: 0)")
+    p_srv.add_argument("--dataset-scale", default=None, metavar="SPEC",
+                       help="override generation scales, e.g. "
+                            "\"cora=0.1,nell=0.02\" (keys into the same "
+                            "cache series as any other context using "
+                            "those scales)")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log batch dispatches on stderr")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser("lint", help="AST-based invariant checker")
     p_lint.add_argument("path", nargs="?", default=None,

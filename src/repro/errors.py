@@ -48,3 +48,7 @@ class UnknownSweepError(ReproError, KeyError):
 
 class CompileError(ReproError):
     """The hardware compiler could not map the model onto the accelerator."""
+
+
+class ServeProtocolError(ReproError):
+    """A malformed `repro serve` wire message (bad JSON, missing fields)."""

@@ -26,7 +26,11 @@ from typing import Any, Dict, Optional, Tuple
 #: it orphans (and therefore invalidates) all previously stored artifacts.
 #: v2: SweepPointResult gained the multi-objective metric fields (per-phase
 #: energy breakdowns, DRAM traffic, event-sim cycles).
-CODE_SCHEMA_VERSION = 2
+#: v3: the `repro serve` wire dataclasses (ServeRequest/ServeResponse)
+#: joined the serialized-shape set, and the `compiled` kernel tier gained
+#: its own cache-key series (the fallback spelling still resolves to
+#: `vectorized`, so only machines with numba mint new keys).
+CODE_SCHEMA_VERSION = 3
 
 #: Artifact kinds the store recognises (one subdirectory per kind).
 KIND_GRAPH = "graph"

@@ -117,7 +117,9 @@ class VectorizedBackend(KernelBackend):
         big = cls(
             (big_data, big_indices, big_indptr), shape=(total_rows, total_cols)
         )
-        out = np.asarray(big @ big_b)
+        # Dispatch through self.spmm so subclasses (the JIT `compiled`
+        # tier) run the whole batch as one kernel dispatch of their own.
+        out = np.asarray(self.spmm(big, big_b))
         row_offsets = np.concatenate(
             [[0], np.cumsum([a.shape[0] for a in mats])]
         )

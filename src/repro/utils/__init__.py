@@ -1,7 +1,9 @@
 """Shared utilities: RNG handling, table formatting, ASCII plots."""
 
 from repro.utils.rng import ensure_rng
+from repro.utils.sysinfo import effective_cpu_count
 from repro.utils.tables import format_table
 from repro.utils.ascii_plot import density_plot, bar_chart
 
-__all__ = ["ensure_rng", "format_table", "density_plot", "bar_chart"]
+__all__ = ["bar_chart", "density_plot", "effective_cpu_count",
+           "ensure_rng", "format_table"]

@@ -1,0 +1,29 @@
+"""Host introspection shared by the benchmark harnesses.
+
+Both ``bench_sweep.py`` and ``bench_serve.py`` gate their parallelism
+assertions on how many CPUs the process may actually use — which on a
+cgroup-restricted CI runner is the *affinity* count, not
+``os.cpu_count()``'s host-wide total. One helper, one definition.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may schedule onto (affinity-aware, >= 1).
+
+    Prefers ``os.sched_getaffinity`` (respects taskset/cgroups on
+    Linux), falls back to ``os.cpu_count()`` where affinity is not a
+    concept (macOS, Windows), and bottoms out at 1 so callers can divide
+    by it or compare against a job count without guarding ``None``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:
+            pass  # repro: lint-ok[except-swallow] — exotic platform;
+            # fall through to the portable count below.
+    return max(1, os.cpu_count() or 1)

@@ -250,7 +250,7 @@ def test_unregistered_experiment_module_is_flagged(scratch_tree):
 def test_hardcoded_cli_choices_are_flagged(scratch_tree):
     rewrite(
         scratch_tree / "cli.py",
-        "choices=available_backends()",
+        "choices=backend_choices()",
         "choices=('reference', 'vectorized', 'tiled')",
     )
     hits = findings_for(scratch_tree, "registry-sync")
@@ -258,6 +258,27 @@ def test_hardcoded_cli_choices_are_flagged(scratch_tree):
     assert hits[0].path == "cli.py"
     assert "--kernel-backend" in hits[0].message
     assert "drift" in hits[0].message
+
+
+def test_unregistered_kernel_backend_is_flagged(scratch_tree):
+    (scratch_tree / "sparse" / "kernels" / "turbo.py").write_text(
+        '"""A new backend that forgot to register."""\n\n'
+        "from repro.sparse.kernels.vectorized import VectorizedBackend\n\n\n"
+        "class TurboBackend(VectorizedBackend):\n"
+        '    name = "turbo"\n'
+    )
+    hits = findings_for(scratch_tree, "registry-sync")
+    assert len(hits) == 1
+    assert hits[0].path == "sparse/kernels/turbo.py"
+    assert "TurboBackend" in hits[0].message
+    assert "backend_choices()" in hits[0].message
+    assert "register_lazy_backend" in hits[0].hint
+
+
+def test_lazy_registration_satisfies_kernel_sync(scratch_tree):
+    """Both wiring styles count: the shipped tree registers three
+    backends eagerly and ``compiled`` lazily, and is clean."""
+    assert findings_for(scratch_tree, "registry-sync") == []
 
 
 def test_kind_filter_must_validate(scratch_tree):

@@ -1,0 +1,77 @@
+"""The serve wire format: round-trips and validation failures."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeProtocolError
+from repro.serve import (
+    ServeRequest,
+    ServeResponse,
+    parse_request,
+    parse_response,
+)
+
+
+def test_request_round_trip():
+    req = ServeRequest(id="q1", dataset="cora", arch="gin",
+                       kernel_backend="tiled")
+    back = parse_request(req.to_json())
+    assert back == req
+
+
+def test_request_defaults():
+    back = parse_request(json.dumps({"id": "q2", "dataset": "cora"}))
+    assert back.op == "query"
+    assert back.arch == "gcn"
+    assert back.kernel_backend is None
+
+
+def test_request_json_is_deterministic():
+    req = ServeRequest(id="q1", dataset="cora")
+    assert req.to_json() == req.to_json()
+    assert "\n" not in req.to_json()
+
+
+def test_response_round_trip():
+    resp = ServeResponse(id="q1", status="ok", source="warm",
+                         dataset="cora", arch="gcn",
+                         kernel_backend="vectorized",
+                         result={"accuracy": 0.8})
+    back = parse_response(resp.to_json())
+    assert back == resp
+
+
+@pytest.mark.parametrize("line,fragment", [
+    ("not json", "malformed request JSON"),
+    ("[1, 2]", "must be a JSON object"),
+    (json.dumps({"op": "query", "dataset": "cora"}), "non-empty string 'id'"),
+    (json.dumps({"id": "q", "op": "reboot"}), "unknown op"),
+    (json.dumps({"id": "q", "op": "query"}), "need a 'dataset'"),
+    (json.dumps({"id": "q", "dataset": "cora", "arch": ""}),
+     "'arch' must be"),
+    (json.dumps({"id": "q", "dataset": "cora", "kernel_backend": 7}),
+     "'kernel_backend' must be"),
+])
+def test_request_validation_errors(line, fragment):
+    with pytest.raises(ServeProtocolError, match=fragment):
+        parse_request(line)
+
+
+@pytest.mark.parametrize("line,fragment", [
+    ("nope", "malformed response JSON"),
+    (json.dumps({"id": "q", "status": "ok", "bogus": 1}),
+     "unknown fields"),
+    (json.dumps({"status": "ok"}), "string 'id'"),
+    (json.dumps({"id": "q", "status": "maybe"}), "'ok' or 'error'"),
+])
+def test_response_validation_errors(line, fragment):
+    with pytest.raises(ServeProtocolError, match=fragment):
+        parse_response(line)
+
+
+def test_stats_and_ping_requests_need_no_dataset():
+    for op in ("stats", "ping"):
+        back = parse_request(json.dumps({"id": "s1", "op": op}))
+        assert back.op == op
+        assert back.dataset == ""

@@ -1,0 +1,182 @@
+"""The ``compiled`` kernel tier: lazy probe, fallback alias, key parity.
+
+Two regimes, both exercised regardless of whether this machine has
+numba:
+
+* **forced fallback** — the probe is stubbed out via the registry's
+  ``_rearm_lazy_backend`` test seam, so ``compiled`` resolves to
+  ``vectorized`` with a one-line stderr note: requests stay valid, cache
+  keys normalize to the fallback's series, and a store warmed by
+  ``vectorized`` serves a ``compiled``-spelled context without a single
+  training run.
+* **real numba** (skipped when absent) — the JIT kernels must be
+  numerically indistinguishable from ``vectorized`` across both product
+  orders, duplicate indices, empty rows, and rectangular shapes.
+"""
+
+import numpy as np
+import pytest
+
+import scipy.sparse as sp
+
+from repro.cli import build_parser
+from repro.runtime import counters, keys as runtime_keys
+from repro.runtime.store import ArtifactStore
+from repro.sparse import from_scipy, spmm
+from repro.sparse import kernels as K
+from repro.sparse.kernels.compiled import (
+    load_compiled_backend,
+    numba_available,
+)
+
+
+def _both_formats(dense):
+    """The dense matrix as our CSR and CSC containers."""
+    return (from_scipy(sp.csr_matrix(dense), "csr"),
+            from_scipy(sp.csc_matrix(dense), "csc"))
+
+
+@pytest.fixture
+def forced_fallback():
+    """Make the ``compiled`` probe fail, then restore the real loader."""
+    K._rearm_lazy_backend(
+        "compiled", lambda: "forced unavailable (test)", "vectorized"
+    )
+    try:
+        yield
+    finally:
+        K._rearm_lazy_backend(
+            "compiled", load_compiled_backend, "vectorized"
+        )
+
+
+def test_backend_choices_always_include_compiled():
+    assert "compiled" in K.backend_choices()
+    for name in K.available_backends():
+        assert name in K.backend_choices()
+
+
+def test_cli_accepts_compiled_backend():
+    args = build_parser().parse_args(
+        ["--kernel-backend", "compiled", "train", "cora"]
+    )
+    assert args.kernel_backend == "compiled"
+
+
+def test_forced_fallback_resolves_to_vectorized(forced_fallback, capsys):
+    backend = K.get_backend("compiled")
+    assert backend is K.get_backend("vectorized")
+    assert backend.name == "vectorized"
+    # the note prints once per process, not once per resolution
+    K.get_backend("compiled")
+    K.get_backend("compiled")
+    err = capsys.readouterr().err
+    assert err.count("falling back to 'vectorized'") == 1
+    assert "forced unavailable (test)" in err
+
+
+def test_forced_fallback_spmm_matches_vectorized(forced_fallback):
+    rng = np.random.default_rng(3)
+    dense = (rng.random((30, 40)) < 0.2) * rng.normal(size=(30, 40))
+    b = rng.normal(size=(40, 8))
+    for mat in _both_formats(dense):
+        out = spmm(mat, b, backend="compiled")
+        np.testing.assert_array_equal(
+            out, spmm(mat, b, backend="vectorized")
+        )
+
+
+def test_forced_fallback_normalizes_cache_keys(forced_fallback):
+    compiled = runtime_keys.gcod_key(
+        "cora", 0.1, "gcn", None, "compiled", 0, "fast"
+    )
+    vectorized = runtime_keys.gcod_key(
+        "cora", 0.1, "gcn", None, "vectorized", 0, "fast"
+    )
+    assert compiled.digest == vectorized.digest
+
+
+def test_unknown_backend_error_lists_choices(forced_fallback):
+    with pytest.raises(K.KernelError, match="compiled"):
+        K.get_backend("no-such-backend")
+
+
+def test_vectorized_store_serves_compiled_context_warm(
+    forced_fallback, tmp_path
+):
+    """A store warmed by ``vectorized`` answers a ``compiled``-spelled
+    context with zero training runs and byte-identical sweep output."""
+    from repro.evaluation import EvalContext
+    from repro.sweep import SweepSpec, run_sweep, sweep_report_text
+
+    spec = SweepSpec(name="alias", title="alias grid",
+                     axes={"C": (1, 2), "S": (2,)})
+    scales = {"cora": 0.06}
+
+    cold_ctx = EvalContext(profile="fast",
+                           store=ArtifactStore(str(tmp_path)))
+    cold_ctx.dataset_scales = dict(scales)
+    cold_text = sweep_report_text(spec, run_sweep(cold_ctx, spec).results)
+
+    counters.reset_counters()
+    warm_ctx = EvalContext(profile="fast", kernel_backend="compiled",
+                           store=ArtifactStore(str(tmp_path)))
+    warm_ctx.dataset_scales = dict(scales)
+    warm_report = run_sweep(warm_ctx, spec)
+    assert counters.gcod_run_count() == 0
+    assert warm_report.points_evaluated == 0
+    assert sweep_report_text(spec, warm_report.results) == cold_text
+
+
+# ----------------------------------------------------------------------
+# real-numba parity (exercised on machines/CI legs that have the JIT)
+# ----------------------------------------------------------------------
+needs_numba = pytest.mark.skipif(not numba_available(),
+                                 reason="numba unavailable")
+
+
+@needs_numba
+def test_compiled_registers_as_real_backend():
+    backend = K.get_backend("compiled")
+    assert backend.name == "compiled"
+    assert "compiled" in K.available_backends()
+
+
+@needs_numba
+@pytest.mark.parametrize("rows,cols,width", [(1, 1, 1), (17, 23, 5),
+                                             (64, 64, 16), (200, 50, 3)])
+def test_compiled_matches_vectorized(rows, cols, width):
+    rng = np.random.default_rng(rows * 31 + cols)
+    dense = (rng.random((rows, cols)) < 0.15) * rng.normal(
+        size=(rows, cols))
+    b = rng.normal(size=(cols, width))
+    for mat in _both_formats(dense):
+        out = spmm(mat, b, backend="compiled")
+        ref = spmm(mat, b, backend="vectorized")
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+
+@needs_numba
+def test_compiled_integer_accounting_is_exact():
+    """Integer-valued data must come out exact, not approximately."""
+    rng = np.random.default_rng(9)
+    dense = rng.integers(0, 4, size=(40, 40)).astype(float)
+    b = rng.integers(-3, 4, size=(40, 6)).astype(float)
+    for mat in _both_formats(dense):
+        np.testing.assert_array_equal(
+            spmm(mat, b, backend="compiled"),
+            spmm(mat, b, backend="vectorized"),
+        )
+
+
+@needs_numba
+def test_compiled_gets_its_own_cache_series():
+    """With a real JIT, ``compiled`` results are a distinct key series —
+    consistent with how ``tiled``/``reference`` are keyed."""
+    compiled = runtime_keys.gcod_key(
+        "cora", 0.1, "gcn", None, "compiled", 0, "fast"
+    )
+    vectorized = runtime_keys.gcod_key(
+        "cora", 0.1, "gcn", None, "vectorized", 0, "fast"
+    )
+    assert compiled.digest != vectorized.digest
