@@ -21,6 +21,15 @@ Two phases, each against a throwaway artifact store, both written to
   ``--point-jobs`` CPUs (a single-core box cannot demonstrate
   parallelism; the numbers are still recorded).
 
+* **constrained frontier** — the cold pass's 24 points re-aggregated
+  under a power budget (``power<=5`` with objectives that include
+  ``power``): the feasible-subset frontier must be byte-identical to
+  post-hoc filtering of the unconstrained frontier (with every
+  constraint an upper bound on a minimized objective, any dominator of
+  a feasible point is itself feasible — the bench hard-fails if the two
+  ever diverge), and the budget must actually split the grid (some
+  points feasible, some not).
+
 * **shared store** — the 24-point grid again, but the sweep results are
   cleared and re-evaluated by *two worker processes* sharing one
   artifact store over HTTP (``repro store serve`` in-process): the work
@@ -50,7 +59,15 @@ from repro.evaluation import EvalContext
 from repro.runtime import CODE_SCHEMA_VERSION, counters
 from repro.runtime.keys import KIND_SWEEP
 from repro.runtime.store import ArtifactStore
-from repro.sweep import SweepSpec, run_sweep, sweep_report_text
+from repro.sweep import (
+    SweepSpec,
+    describe_constraints,
+    is_feasible,
+    pareto_frontier,
+    parse_constraints,
+    run_sweep,
+    sweep_report_text,
+)
 from repro.utils import effective_cpu_count
 
 #: 2 x 2 x 2 x 3 = 24 points, 4 unique training runs — the same shape as
@@ -87,6 +104,12 @@ POINT_SPEC = SweepSpec(
 
 POINT_SCALES = {"cora": 1.0}
 
+#: The constrained-frontier phase: a power budget aligned with the
+#: objective set (``power`` is both bounded and minimized), so
+#: subset-pareto and post-hoc filtering must coincide byte-for-byte.
+CONSTRAINED_OBJECTIVES = "speedup,energy,power"
+CONSTRAIN = "power<=5"
+
 
 def fresh_ctx(store_root: str, scales) -> EvalContext:
     ctx = EvalContext(profile="fast", store=ArtifactStore(store_root))
@@ -107,19 +130,47 @@ def run_pass(store_root: str, spec, scales, jobs: int):
         "cache_hits": len(report.cache_hits),
         "unique_gcod_deps": report.deps_total,
         "gcod_tasks_executed": report.tasks_executed,
-    }, sweep_report_text(spec, report.results)
+    }, sweep_report_text(spec, report.results), report
 
 
 def bench_cold_warm(jobs: int):
     store_root = tempfile.mkdtemp(prefix="bench-sweep-store-")
     try:
-        cold, cold_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
-                                   jobs)
-        warm, warm_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
-                                   jobs=1)
+        cold, cold_text, cold_report = run_pass(store_root, BENCH_SPEC,
+                                                BENCH_SCALES, jobs)
+        warm, warm_text, _ = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
+                                      jobs=1)
     finally:
         shutil.rmtree(store_root, ignore_errors=True)
-    return cold, warm, cold_text == warm_text
+    return cold, warm, cold_text == warm_text, cold_report.results
+
+
+def bench_constrained(results):
+    """Feasible-subset frontier vs post-hoc filtering, byte for byte."""
+    cons = parse_constraints(CONSTRAIN)
+    start = time.perf_counter()
+    subset = pareto_frontier(results, CONSTRAINED_OBJECTIVES, cons)
+    wall = time.perf_counter() - start
+    posthoc = [
+        r for r in pareto_frontier(results, CONSTRAINED_OBJECTIVES)
+        if is_feasible(r, cons)
+    ]
+    # byte-level parity of the two frontiers, point order included
+    subset_bytes = json.dumps([r.to_summary_dict() for r in subset],
+                              sort_keys=True)
+    posthoc_bytes = json.dumps([r.to_summary_dict() for r in posthoc],
+                               sort_keys=True)
+    feasible = sum(1 for r in results if is_feasible(r, cons))
+    return {
+        "objectives": CONSTRAINED_OBJECTIVES,
+        "constraints": describe_constraints(cons),
+        "grid_points": len(results),
+        "feasible_points": feasible,
+        "frontier_points": len(subset),
+        "posthoc_frontier_points": len(posthoc),
+        "wall_s": round(wall, 4),
+        "bytes_identical": subset_bytes == posthoc_bytes,
+    }
 
 
 def bench_point_eval(jobs: int, point_jobs: int):
@@ -127,14 +178,15 @@ def bench_point_eval(jobs: int, point_jobs: int):
     store_root = tempfile.mkdtemp(prefix="bench-sweep-points-")
     try:
         # Train the 4 unique pipelines (and evaluate once) — not timed.
-        _, setup_text = run_pass(store_root, POINT_SPEC, POINT_SCALES, jobs)
+        _, setup_text, _ = run_pass(store_root, POINT_SPEC, POINT_SCALES,
+                                    jobs)
         store = ArtifactStore(store_root)
         store.clear(kind=KIND_SWEEP)
-        serial, serial_text = run_pass(store_root, POINT_SPEC, POINT_SCALES,
-                                       jobs=1)
+        serial, serial_text, _ = run_pass(store_root, POINT_SPEC,
+                                          POINT_SCALES, jobs=1)
         store.clear(kind=KIND_SWEEP)
-        parallel, parallel_text = run_pass(store_root, POINT_SPEC,
-                                           POINT_SCALES, jobs=point_jobs)
+        parallel, parallel_text, _ = run_pass(store_root, POINT_SPEC,
+                                              POINT_SCALES, jobs=point_jobs)
     finally:
         shutil.rmtree(store_root, ignore_errors=True)
     speedup = serial["wall_s"] / max(parallel["wall_s"], 1e-9)
@@ -178,8 +230,8 @@ def bench_shared_store():
         # Train the unique pipelines once, locally — not timed — then
         # clear the point results so the workers have a full grid to
         # split.
-        _, serial_text = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
-                                  jobs=1)
+        _, serial_text, _ = run_pass(store_root, BENCH_SPEC, BENCH_SCALES,
+                                     jobs=1)
         ArtifactStore(store_root).clear(kind=KIND_SWEEP)
 
         import threading
@@ -243,7 +295,9 @@ def main(argv=None) -> int:
                              "CPUs)")
     args = parser.parse_args(argv)
 
-    cold, warm, cold_warm_identical = bench_cold_warm(args.jobs)
+    cold, warm, cold_warm_identical, cold_results = \
+        bench_cold_warm(args.jobs)
+    constrained = bench_constrained(cold_results)
     point_eval = bench_point_eval(args.jobs, args.point_jobs)
     shared = bench_shared_store()
 
@@ -262,6 +316,7 @@ def main(argv=None) -> int:
         "warm": warm,
         "warm_speedup": round(speedup, 2),
         "bytes_identical": cold_warm_identical,
+        "constrained": constrained,
         "point_eval": dict(point_eval,
                            gate_enforced=point_gate_enforced),
         "shared_store": shared,
@@ -282,11 +337,25 @@ def main(argv=None) -> int:
           f"{point_eval['parallel']['wall_s']:.2f}s  "
           f"speedup: {point_eval['parallel_speedup']:.1f}x "
           f"({cpus} CPUs)")
+    print(f"constrained ({constrained['constraints']}): "
+          f"{constrained['feasible_points']}/"
+          f"{constrained['grid_points']} feasible, "
+          f"{constrained['frontier_points']} on the frontier, "
+          f"post-hoc parity: {constrained['bytes_identical']}")
     split = "+".join(str(w["sweep_point_runs"]) for w in shared["workers"])
     print(f"shared store ({shared['grid_points']} points, 2 workers over "
           f"HTTP): {shared['wall_s']:.2f}s, split {split}, "
           f"{shared['duplicate_evaluations']} duplicates  -> {args.out}")
 
+    if not constrained["bytes_identical"]:
+        print("FAIL: constrained frontier differs from post-hoc filtering "
+              "of the unconstrained frontier", file=sys.stderr)
+        return 1
+    if not 0 < constrained["feasible_points"] < constrained["grid_points"]:
+        print(f"FAIL: the {constrained['constraints']} budget did not "
+              f"split the grid ({constrained['feasible_points']} of "
+              f"{constrained['grid_points']} feasible)", file=sys.stderr)
+        return 1
     if warm["gcod_runs_in_parent"] != 0 or warm["points_evaluated"] != 0:
         print("FAIL: warm pass did real work", file=sys.stderr)
         return 1

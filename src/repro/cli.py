@@ -226,14 +226,18 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
         long_form_result,
         pareto_result,
         parse_grid,
+        resolve_constraints,
         resolve_objectives,
         run_sweep,
+        seed_variance_result,
         sweep_report_text,
     )
 
-    # An unknown --objectives name is a usage error (exit 2 via main's
-    # ConfigError handler) — caught before any planning or training.
+    # An unknown --objectives name or --constrain metric is a usage error
+    # (exit 2 via main's ConfigError handler) — caught before any
+    # planning or training.
     objectives = resolve_objectives(args.objectives)
+    constraints = resolve_constraints(args.constrain)
 
     if args.name is None and not args.grid:
         print("registered sweeps (run one, or pass --grid):")
@@ -309,7 +313,8 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
 
     if args.format == "markdown":
         text = sweep_report_text(spec, report.results,
-                                 objectives=objectives)
+                                 objectives=objectives,
+                                 constraints=constraints)
         if args.output:
             with open(args.output, "w") as fh:
                 fh.write(text)
@@ -319,8 +324,10 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
         return 0
 
     os.makedirs(args.out, exist_ok=True)
-    table = long_form_result(spec, report.results)
-    pareto = pareto_result(spec, report.results, objectives=objectives)
+    table = long_form_result(spec, report.results, constraints=constraints)
+    pareto = pareto_result(spec, report.results, objectives=objectives,
+                           constraints=constraints)
+    variance = seed_variance_result(spec, report.results)
     written = []
     if args.format == "json":
         # One document holding the grid, the tidy table, and the frontier.
@@ -331,19 +338,25 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
             "title": spec.title,
             "axes": {name: list(values) for name, values in spec.axes},
             "objectives": [o.name for o in objectives],
+            "constraints": [c.describe() for c in constraints],
             "profile": ctx.profile,
             "seed": ctx.seed,
             "schema": CODE_SCHEMA_VERSION,
             "table": table.to_jsonable(),
             "pareto": pareto.to_jsonable(),
         }
+        if variance is not None:
+            payload["variance"] = variance.to_jsonable()
         path = os.path.join(args.out, f"{spec.name}.json")
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         written.append(path)
     else:
-        for suffix, result in (("", table), ("_pareto", pareto)):
+        outputs = [("", table), ("_pareto", pareto)]
+        if variance is not None:
+            outputs.append(("_variance", variance))
+        for suffix, result in outputs:
             path = os.path.join(args.out, f"{spec.name}{suffix}.csv")
             with open(path, "w") as fh:
                 fh.write(result.to_csv())
@@ -581,7 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--objectives", default=None,
                       help="comma-separated Pareto objectives, e.g. "
                            "\"speedup,energy,dram\" (default: "
-                           "speedup,accuracy; also: latency, bandwidth)")
+                           "speedup,accuracy; also: latency, bandwidth, "
+                           "power, area)")
+    p_sw.add_argument("--constrain", default=None, metavar="BOUNDS",
+                      help="budget constraints the frontier must satisfy, "
+                           "e.g. \"power<=5,area<=40,dram<=2e9\" "
+                           "(metrics: power, area, energy, dram, latency, "
+                           "bandwidth; infeasible points stay in the long "
+                           "form, flagged in a `feasible` column)")
     p_sw.add_argument("--resume", action="store_true",
                       help="resume an interrupted sweep from its stored "
                            "manifest (only missing points evaluate)")

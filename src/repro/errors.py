@@ -1,5 +1,38 @@
 """Exception hierarchy for the repro package."""
 
+from typing import Iterable, Optional
+
+
+def did_you_mean(
+    name: str, choices: Iterable[str], prefix: bool = False
+) -> Optional[str]:
+    """The best near-miss for ``name`` among ``choices`` (or ``None``).
+
+    The one matching policy behind every usage-error suggestion
+    (``--grid`` axes, ``--objectives``, ``--constrain`` metrics, memory
+    kinds): a case slip resolves exactly, then — when ``prefix`` is set —
+    a unit/suffix slip (``dram_bytes``, ``latency_ms``) resolves to the
+    objective it starts with, then difflib catches one-edit-away typos.
+    """
+    import difflib
+
+    choices = list(choices)
+    folded = str(name).casefold()
+    by_fold = {str(c).casefold(): c for c in choices}
+    close = by_fold.get(folded)
+    if close is None and prefix:
+        close = next(
+            (c for c in choices if folded.startswith(str(c).casefold())),
+            None,
+        )
+    if close is None:
+        close = next(
+            iter(difflib.get_close_matches(str(name), choices, n=1,
+                                           cutoff=0.6)),
+            None,
+        )
+    return close
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""

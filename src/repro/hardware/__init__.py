@@ -9,6 +9,14 @@ constants in :mod:`repro.hardware.units`.
 
 from repro.hardware.memory import Buffer, OffChipMemory
 from repro.hardware.pe import PEArray
+from repro.hardware.budget import (
+    AreaPowerModel,
+    BudgetEstimate,
+    DEFAULT_TECH_NODE_NM,
+    TECH_NODES,
+    TechNode,
+    get_tech_node,
+)
 from repro.hardware.energy import EnergyBreakdown, EnergyModel
 from repro.hardware.dataflow import (
     PipelineChoice,
@@ -54,6 +62,12 @@ __all__ = [
     "Buffer",
     "OffChipMemory",
     "PEArray",
+    "AreaPowerModel",
+    "BudgetEstimate",
+    "DEFAULT_TECH_NODE_NM",
+    "TECH_NODES",
+    "TechNode",
+    "get_tech_node",
     "EnergyBreakdown",
     "EnergyModel",
     "PipelineChoice",

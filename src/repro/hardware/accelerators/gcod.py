@@ -30,6 +30,11 @@ from typing import Dict, List, Optional
 
 from repro.hardware import units
 from repro.hardware.accelerators.base import Accelerator, AcceleratorReport, PhaseStats
+from repro.hardware.budget import (
+    DEFAULT_TECH_NODE_NM,
+    AreaPowerModel,
+    BudgetEstimate,
+)
 from repro.hardware.dataflow import select_pipeline
 from repro.hardware.energy import EnergyModel
 from repro.hardware.memory import Buffer, OffChipMemory
@@ -53,6 +58,7 @@ class GCoDAccelerator(Accelerator):
         weight_forward_rate: Optional[float] = None,
         two_pronged: bool = True,
         measured_trace=None,
+        tech_node: int = DEFAULT_TECH_NODE_NM,
     ):
         """``weight_forward_rate`` overrides the ~63% query-forwarding rate
         (0.0 disables forwarding — the ablation knob); ``two_pronged=False``
@@ -87,7 +93,31 @@ class GCoDAccelerator(Accelerator):
         self.feature_buffer = Buffer("fbuf", int(onchip_total * 0.30))
         self.adjacency_buffer = Buffer("abuf", int(onchip_total * 0.30))
         self.name = "gcod-8bit" if bits == 8 else "gcod"
-        self._energy = EnergyModel(bits=bits, memory_kind="hbm")
+        # The technology node scales silicon cost (area, TDP, on-die
+        # energy) but not the clock: latency is node-invariant, so budget
+        # frontiers trade cost against the same performance numbers.
+        self.tech_node = tech_node
+        self._energy = EnergyModel(
+            bits=bits, memory_kind="hbm", tech_node=tech_node
+        )
+
+    @property
+    def onchip_capacity_bytes(self) -> int:
+        """Total on-chip buffer capacity (the 42 MB split's sum)."""
+        return (
+            self.output_buffer.capacity_bytes
+            + self.feature_buffer.capacity_bytes
+            + self.adjacency_buffer.capacity_bytes
+        )
+
+    def budget(self) -> BudgetEstimate:
+        """Area/TDP estimate of this exact configuration at its node."""
+        return AreaPowerModel(self.tech_node).estimate(
+            bits=self.bits,
+            num_pes=self.pes.num_pes,
+            onchip_bytes=self.onchip_capacity_bytes,
+            clock_hz=self.pes.clock_hz,
+        )
 
     # ------------------------------------------------------------------
     def run(self, workload: GCNWorkload) -> AcceleratorReport:

@@ -5,7 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.errors import ConfigError, did_you_mean
 from repro.hardware import units
+from repro.hardware.budget import DEFAULT_TECH_NODE_NM, get_tech_node
+
+#: Off-chip access energy per memory technology (pJ/byte). Module-level so
+#: the known-kinds list in the unknown-kind error and the model itself can
+#: never disagree.
+MEMORY_PJ_PER_BYTE = {
+    "hbm": units.HBM_PJ_PER_BYTE,
+    "ddr": units.DDR_PJ_PER_BYTE,
+    "gddr": units.GDDR_PJ_PER_BYTE,
+}
 
 
 @dataclass
@@ -29,8 +40,15 @@ class EnergyBreakdown:
         )
 
     def fractions(self) -> Dict[str, float]:
-        """Normalized shares of each component."""
-        total = max(self.total_j, 1e-30)
+        """Normalized shares of each component.
+
+        An empty breakdown (no energy recorded at all) has no meaningful
+        shares: every component is reported as exactly 0.0 rather than
+        the near-zero garbage a clamped denominator would produce.
+        """
+        total = self.total_j
+        if total == 0.0:
+            return {"compute": 0.0, "onchip": 0.0, "offchip": 0.0}
         return {
             "compute": self.compute_j / total,
             "onchip": self.onchip_j / total,
@@ -47,16 +65,34 @@ class EnergyBreakdown:
 
 
 class EnergyModel:
-    """Converts operation counts into joules for a given precision/memory."""
+    """Converts operation counts into joules for a given precision/memory.
 
-    def __init__(self, bits: int = 32, memory_kind: str = "hbm"):
+    ``tech_node`` scales the on-die energies (MAC and SRAM) by the node's
+    switching-energy factor; off-chip energy is board-level and stays
+    fixed. The default (16 nm) is the calibration reference, so models
+    built without a node are bit-identical to the pre-budget ones.
+    """
+
+    def __init__(
+        self,
+        bits: int = 32,
+        memory_kind: str = "hbm",
+        tech_node: int = DEFAULT_TECH_NODE_NM,
+    ):
+        if memory_kind not in MEMORY_PJ_PER_BYTE:
+            close = did_you_mean(memory_kind, MEMORY_PJ_PER_BYTE,
+                                 prefix=True)
+            suggestion = f" (did you mean {close!r}?)" if close else ""
+            raise ConfigError(
+                f"unknown memory kind {memory_kind!r}{suggestion}; "
+                f"choose from {', '.join(MEMORY_PJ_PER_BYTE)}"
+            )
+        scale = get_tech_node(tech_node).energy_scale
         self.bits = bits
-        self.mac_pj = units.MAC8_PJ if bits <= 8 else units.MAC32_PJ
-        self.mem_pj = {
-            "hbm": units.HBM_PJ_PER_BYTE,
-            "ddr": units.DDR_PJ_PER_BYTE,
-            "gddr": units.GDDR_PJ_PER_BYTE,
-        }[memory_kind]
+        self.tech_node = int(tech_node)
+        self.mac_pj = (units.MAC8_PJ if bits <= 8 else units.MAC32_PJ) * scale
+        self.sram_pj = units.SRAM_PJ_PER_BYTE * scale
+        self.mem_pj = MEMORY_PJ_PER_BYTE[memory_kind]
 
     def energy(
         self, macs: float, onchip_bytes: float, offchip_bytes: float
@@ -64,6 +100,6 @@ class EnergyModel:
         """Energy of a phase given its op/byte counts."""
         return EnergyBreakdown(
             compute_j=macs * self.mac_pj * 1e-12,
-            onchip_j=onchip_bytes * units.SRAM_PJ_PER_BYTE * 1e-12,
+            onchip_j=onchip_bytes * self.sram_pj * 1e-12,
             offchip_j=offchip_bytes * self.mem_pj * 1e-12,
         )

@@ -4,9 +4,12 @@ Every number that turns *structural* facts (MAC counts, byte counts,
 measured workload balance) into *physical* estimates (seconds, joules)
 lives here, so the calibration surface is one documented file.
 
-Energy constants follow the usual Horowitz-style scaling (45nm-class
-technology): an off-chip access costs ~2 orders of magnitude more than a
-MAC, on-chip SRAM sits in between. Software-efficiency factors for the
+Energy constants follow the usual Horowitz-style scaling, calibrated at
+the 16 nm reference node (the paper's VCU128 is 16 nm FinFET): an
+off-chip access costs ~2 orders of magnitude more than a MAC, on-chip
+SRAM sits in between. :mod:`repro.hardware.budget` scales the *logic and
+SRAM* constants to other technology nodes; DRAM interface energy is
+board-level and does not scale with the logic node. Software-efficiency factors for the
 PyG/DGL baselines are calibrated once against the ratios the paper reports
 (e.g. AWB-GCN ~1000x PyG-CPU on Cora, DGL-CPU ~15x PyG-CPU) and then left
 alone; every GCoD result is produced by the model, not fitted.
@@ -25,6 +28,27 @@ GDDR_PJ_PER_BYTE = 96.0  # GDDR6-class
 #: bytes per value at the two precisions the paper evaluates
 BYTES_FP32 = 4
 BYTES_INT8 = 1
+
+# ---------------------------------------------------------------------------
+# area / power calibration (16 nm reference; see repro.hardware.budget)
+# ---------------------------------------------------------------------------
+#: silicon area of one MAC PE (mm^2) per precision — an 8-bit PE is
+#: roughly a quarter of a 32-bit one (multiplier area goes ~bits^2).
+PE_AREA_MM2 = {32: 0.0024, 8: 0.0006}
+#: on-chip SRAM density (mm^2 per MB), 16nm-class macro cells
+SRAM_MM2_PER_MB = 0.45
+#: floorplan overhead for NoC, controllers, and the HBM PHY on top of the
+#: raw PE + SRAM area
+AREA_OVERHEAD = 1.25
+#: average PE switching activity at TDP (fraction of cycles a PE fires a
+#: MAC); derates peak dynamic power the way a thermal design point does
+PE_ACTIVITY = 0.55
+#: SRAM power per MB (leakage + refresh-equivalent dynamic), watts
+SRAM_W_PER_MB = 0.012
+#: HBM PHY + controller power (board-level, not logic-node scaled), watts
+HBM_PHY_W = 1.5
+#: static/clock-tree overhead on top of the summed component powers
+STATIC_POWER_OVERHEAD = 1.1
 
 # ---------------------------------------------------------------------------
 # software-platform calibration (fractions of peak throughput achieved)

@@ -30,7 +30,11 @@ from typing import Any, Dict, Optional, Tuple
 #: joined the serialized-shape set, and the `compiled` kernel tier gained
 #: its own cache-key series (the fallback spelling still resolves to
 #: `vectorized`, so only machines with numba mint new keys).
-CODE_SCHEMA_VERSION = 3
+#: v4: budget-constrained DSE — SweepPoint gained `tech_node` (and the
+#: point key a tech_node component), SweepPointResult gained
+#: `tech_node`/`area_mm2`/`tdp_w`, so stored sweep artifacts changed
+#: meaning and layout.
+CODE_SCHEMA_VERSION = 4
 
 #: Artifact kinds the store recognises (one subdirectory per kind).
 KIND_GRAPH = "graph"
@@ -226,15 +230,17 @@ def sweep_point_key(
     profile: str,
     bits: int,
     hw_scale: float,
+    tech_node: int,
     axes: Dict[str, Any],
 ) -> ArtifactKey:
     """Key for one evaluated design point of a ``repro sweep``.
 
     The payload covers everything the point's metrics depend on — the full
     training config (backend spellings normalized exactly like
-    :func:`gcod_key`), the platform variant (``bits``, ``hw_scale``) — plus
-    the raw axis values, because two points may share a resolved config
-    (e.g. ``S`` clamped up to ``C``) while reporting different coordinates.
+    :func:`gcod_key`), the platform variant (``bits``, ``hw_scale``,
+    ``tech_node``) — plus the raw axis values, because two points may
+    share a resolved config (e.g. ``S`` clamped up to ``C``) while
+    reporting different coordinates.
     """
     backend = _resolve_backend_name(kernel_backend)
     config_payload = jsonable(config)
@@ -253,6 +259,7 @@ def sweep_point_key(
         profile=profile,
         bits=bits,
         hw_scale=float(hw_scale),
+        tech_node=int(tech_node),
         axes=dict(sorted(axes.items())),
     )
 

@@ -14,9 +14,12 @@ the way `zigzag`-style DSE loops generalize a single cost-model query:
 * :mod:`repro.sweep.ledger` — the claim-based work ledger that lets many
   workers on many hosts drain one grid through a shared store
   (``--store-url`` / ``--ledger``), exactly-once per live worker;
-* :mod:`repro.sweep.aggregate` — long-form tidy tables and N-dimensional
+* :mod:`repro.sweep.aggregate` — long-form tidy tables, N-dimensional
   Pareto frontiers over selectable objectives (``--objectives
-  speedup,energy,dram``);
+  speedup,energy,dram``), and seed-variance mean/std columns;
+* :mod:`repro.sweep.constraints` — Lumos-style budget constraints
+  (``--constrain "power<=5,area<=40"``) restricting the frontier to the
+  feasible subset;
 * :mod:`repro.sweep.registry` — named sweeps (``ablation-cs``,
   ``tab05-scale``, ``fig12-energy``) discovered by the CLI.
 """
@@ -25,13 +28,24 @@ from repro.sweep.aggregate import (
     DEFAULT_OBJECTIVES,
     METRIC_HEADERS,
     OBJECTIVES,
+    VARIANCE_METRICS,
     Objective,
     dominates,
     long_form_result,
     pareto_frontier,
     pareto_result,
     resolve_objectives,
+    seed_variance_result,
     sweep_report_text,
+)
+from repro.sweep.constraints import (
+    CONSTRAINT_METRICS,
+    Constraint,
+    ConstraintMetric,
+    describe_constraints,
+    is_feasible,
+    parse_constraints,
+    resolve_constraints,
 )
 from repro.sweep.engine import (
     SweepPlan,
@@ -68,6 +82,9 @@ from repro.sweep.spec import (
 
 __all__ = [
     "AXES",
+    "CONSTRAINT_METRICS",
+    "Constraint",
+    "ConstraintMetric",
     "DEFAULT_CLAIM_TTL_S",
     "DEFAULT_OBJECTIVES",
     "LedgerStats",
@@ -81,22 +98,28 @@ __all__ = [
     "SweepRunReport",
     "SweepSpec",
     "WorkLedger",
+    "VARIANCE_METRICS",
     "all_sweeps",
     "default_worker_id",
+    "describe_constraints",
     "dominates",
     "execute_sweep",
     "expand",
     "get_sweep",
+    "is_feasible",
     "load_manifest",
     "long_form_result",
     "manifest_key",
     "pareto_frontier",
     "pareto_result",
+    "parse_constraints",
     "parse_grid",
     "plan_sweep",
     "register_sweep",
+    "resolve_constraints",
     "resolve_objectives",
     "run_sweep",
+    "seed_variance_result",
     "sweep_names",
     "sweep_report_text",
 ]

@@ -1,0 +1,165 @@
+"""Budget constraints for sweeps: ``--constrain "power<=5,area<=40"``.
+
+A constraint bounds one :class:`~repro.sweep.engine.SweepPointResult`
+metric; the set given on the command line partitions the grid into
+feasible and infeasible points. Aggregation keeps every point in the
+long-form table (flagged in a ``feasible`` column) and computes the
+Pareto frontier over the feasible subset only — the Lumos-style "best
+design under budget" question.
+
+Metric names get the same case-insensitive did-you-mean UX as ``--grid``
+axes and ``--objectives``: an unknown name is a usage error (exit 2)
+naming the known set and the near-miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, did_you_mean
+from repro.sweep.engine import SweepPointResult
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstraintMetric:
+    """One budgetable metric: a result attribute plus its display unit."""
+
+    name: str
+    #: the :class:`SweepPointResult` attribute holding the metric.
+    attr: str
+    unit: str
+
+
+#: The budgetable metrics, keyed by CLI name.
+CONSTRAINT_METRICS: Dict[str, ConstraintMetric] = {
+    m.name: m
+    for m in (
+        ConstraintMetric("power", "tdp_w", "W"),
+        ConstraintMetric("area", "area_mm2", "mm2"),
+        ConstraintMetric("energy", "gcod_energy_j", "J"),
+        ConstraintMetric("dram", "gcod_dram_bytes", "bytes"),
+        ConstraintMetric("latency", "gcod_latency_s", "s"),
+        ConstraintMetric("bandwidth", "gcod_required_bw_gbps", "GB/s"),
+    )
+}
+
+#: Comparison operators, longest spelling first so ``<=`` never parses
+#: as ``<`` with a stray ``=`` in the bound.
+_OPS: Tuple[Tuple[str, object], ...] = (
+    ("<=", lambda v, b: v <= b),
+    (">=", lambda v, b: v >= b),
+    ("<", lambda v, b: v < b),
+    (">", lambda v, b: v > b),
+)
+
+
+def _unknown_metric_error(name: str) -> ConfigError:
+    close = did_you_mean(name, CONSTRAINT_METRICS)
+    suggestion = f" (did you mean {close!r}?)" if close else ""
+    return ConfigError(
+        f"unknown constraint metric {name!r}{suggestion}; choose from "
+        f"{', '.join(CONSTRAINT_METRICS)}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """One parsed bound, e.g. ``power <= 5.0``."""
+
+    metric: ConstraintMetric
+    op: str
+    bound: float
+
+    def satisfied(self, result: SweepPointResult) -> bool:
+        value = float(getattr(result, self.metric.attr))
+        check = dict(_OPS)[self.op]
+        return bool(check(value, self.bound))
+
+    def describe(self) -> str:
+        # %g keeps bounds readable ("2e+09", "5", "40.5") and stable.
+        return f"{self.metric.name} {self.op} {self.bound:g} " \
+               f"[{self.metric.unit}]"
+
+
+ConstraintsLike = Union[None, str, Sequence[Constraint]]
+
+
+def parse_constraints(text: str) -> Tuple[Constraint, ...]:
+    """Parse a ``--constrain`` string into :class:`Constraint` instances.
+
+    Syntax: comma-separated ``metric<op>bound`` clauses with ``<=``,
+    ``<``, ``>=``, or ``>``, e.g. ``"power<=5,area<=40,dram<=2e9"``.
+    Metric names are matched case-insensitively; bounds are floats
+    (scientific notation welcome). Repeating a metric *is* allowed —
+    ``latency>=1e-6,latency<=1e-3`` brackets a range.
+    """
+    constraints: List[Constraint] = []
+    for clause in str(text).split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        for op, _ in _OPS:
+            if op in clause:
+                name, _, bound_text = clause.partition(op)
+                break
+        else:
+            raise ConfigError(
+                f"--constrain clause {clause!r} is not of the form "
+                f"metric<=bound (operators: <=, <, >=, >)"
+            )
+        name = name.strip()
+        metric = CONSTRAINT_METRICS.get(name) or CONSTRAINT_METRICS.get(
+            name.casefold()
+        )
+        if metric is None:
+            raise _unknown_metric_error(name)
+        try:
+            bound = float(bound_text.strip())
+        except ValueError:
+            raise ConfigError(
+                f"--constrain clause {clause!r}: bound "
+                f"{bound_text.strip()!r} is not a number"
+            ) from None
+        constraints.append(Constraint(metric=metric, op=op, bound=bound))
+    if not constraints:
+        raise ConfigError(
+            f"--constrain selected no constraints; bound one of "
+            f"{', '.join(CONSTRAINT_METRICS)}"
+        )
+    return tuple(constraints)
+
+
+def resolve_constraints(
+    constraints: ConstraintsLike,
+) -> Tuple[Constraint, ...]:
+    """Normalize a constraint selection (None, CLI string, or instances)."""
+    if constraints is None:
+        return ()
+    if isinstance(constraints, str):
+        return parse_constraints(constraints)
+    return tuple(constraints)
+
+
+def is_feasible(
+    result: SweepPointResult, constraints: Sequence[Constraint]
+) -> bool:
+    """True when ``result`` satisfies every constraint."""
+    return all(c.satisfied(result) for c in constraints)
+
+
+def describe_constraints(constraints: Sequence[Constraint]) -> str:
+    """The human-readable conjunction, e.g. ``power <= 5 [W], ...``."""
+    return ", ".join(c.describe() for c in constraints)
+
+
+__all__ = (
+    "CONSTRAINT_METRICS",
+    "Constraint",
+    "ConstraintMetric",
+    "ConstraintsLike",
+    "describe_constraints",
+    "is_feasible",
+    "parse_constraints",
+    "resolve_constraints",
+)

@@ -72,6 +72,8 @@ class SweepPointResult:
     prune_ratio: float
     bits: int
     hw_scale: float
+    #: logic technology node (nm) the budget models cost the design at.
+    tech_node: int
     kernel_backend: str
     speedup_vs_awb: float
     bw_reduction_vs_hygcn: float
@@ -84,6 +86,11 @@ class SweepPointResult:
     gcod_energy_j: float
     #: total off-chip (DRAM) traffic of one GCoD inference, in bytes.
     gcod_dram_bytes: float
+    #: silicon cost of the selected platform variant (bits x hw_scale x
+    #: tech_node) from :class:`~repro.hardware.budget.AreaPowerModel` —
+    #: what ``--constrain "power<=5,area<=40"`` budgets against.
+    area_mm2: float
+    tdp_w: float
     #: per-phase energy breakdowns (compute/on-chip/off-chip joules), the
     #: way Fig. 12 splits them.
     comb_energy: EnergyBreakdown
@@ -110,6 +117,9 @@ class SweepPointResult:
             "dram_mb": round(float(self.gcod_dram_bytes) / 2**20, 4),
             "bits": self.bits,
             "hw_scale": self.hw_scale,
+            "tech_node": self.tech_node,
+            "area_mm2": round(float(self.area_mm2), 4),
+            "tdp_w": round(float(self.tdp_w), 4),
         }
 
 
@@ -190,28 +200,62 @@ class _PointEvaluator:
     def __init__(self, context):
         self.context = context
         self._gcod: Dict[str, object] = {}  # gcod digest -> GCoDResult
-        self._baselines: Dict[Tuple[str, str], Tuple] = {}
-        self._platforms: Dict[Tuple[int, float], object] = {}
+        self._graphs: Dict[Tuple[str, int], object] = {}
+        self._baselines: Dict[Tuple[str, str, int], Tuple] = {}
+        self._platforms: Dict[Tuple[int, float, int], object] = {}
 
-    def _baseline_reports(self, dataset: str, arch: str):
+    def _graph(self, dataset: str, seed: int):
+        """The dataset graph at an explicit seed (store-backed).
+
+        The context memoizes graphs at *its own* seed; a ``seed`` sweep
+        axis needs the same dataset regenerated per point seed — under
+        the same :func:`~repro.runtime.keys.graph_key` the training
+        tasks use, so the inline path and the warmed pool path train on
+        identical (store-round-tripped) inputs.
+        """
+        if seed == self.context.seed:
+            return self.context.graph(dataset)
+        memo = (dataset, seed)
+        if memo not in self._graphs:
+            from repro.graphs import load_dataset
+            from repro.runtime.keys import graph_key
+
+            scale = self.context.scale_for(dataset)
+            key = graph_key(dataset, scale, seed)
+            store: Optional[ArtifactStore] = self.context.store
+            graph = store.get(key) if store is not None else None
+            if graph is None:
+                graph = load_dataset(dataset, scale=scale, seed=seed)
+                if store is not None:
+                    store.put(key, graph)
+            self._graphs[memo] = graph
+        return self._graphs[memo]
+
+    def _baseline_reports(self, dataset: str, arch: str, seed: int):
         """AWB-GCN and HyGCN on the untreated (paper-scale) workload.
 
         The models come from ``context.platforms()`` — the same memoized
         registry every experiment uses — so a platform-construction
-        change can never apply to experiments but not to sweeps.
+        change can never apply to experiments but not to sweeps. Keyed
+        by seed too: a seed-axis point compares GCoD against baselines
+        running the *same* generated graph.
         """
-        key = (dataset, arch)
+        from repro.hardware import extract_workload
+
+        key = (dataset, arch, seed)
         if key not in self._baselines:
             plats = self.context.platforms()
-            wl_base = self.context.baseline_workload(dataset, arch)
+            wl_base = extract_workload(
+                self._graph(dataset, seed), None, arch, paper_scale=True
+            )
             self._baselines[key] = (
                 plats["awb-gcn"].run(wl_base), plats["hygcn"].run(wl_base)
             )
         return self._baselines[key]
 
-    def _gcod_platform(self, bits: int, hw_scale: float):
-        """The GCoD accelerator variant for (bits, hw_scale)."""
-        key = (bits, hw_scale)
+    def _gcod_platform(self, bits: int, hw_scale: float, tech_node: int):
+        """The GCoD accelerator variant for (bits, hw_scale, tech_node)."""
+        key = (bits, hw_scale, tech_node)
         if key not in self._platforms:
             from repro.hardware.accelerators import GCoDAccelerator
             from repro.hardware.accelerators.gcod import DEFAULT_PES
@@ -219,7 +263,9 @@ class _PointEvaluator:
             num_pes = None
             if hw_scale != 1.0:
                 num_pes = max(1, int(round(DEFAULT_PES[bits] * hw_scale)))
-            self._platforms[key] = GCoDAccelerator(bits=bits, num_pes=num_pes)
+            self._platforms[key] = GCoDAccelerator(
+                bits=bits, num_pes=num_pes, tech_node=tech_node
+            )
         return self._platforms[key]
 
     def _gcod_result(self, point: SweepPoint):
@@ -234,7 +280,8 @@ class _PointEvaluator:
         result = store.get(key) if store is not None else None
         if result is None:
             result = run_gcod(
-                self.context.graph(point.dataset), point.arch, point.config
+                self._graph(point.dataset, point.seed), point.arch,
+                point.config,
             )
             if store is not None:
                 store.put(key, result, summary=result.to_summary_dict())
@@ -274,13 +321,18 @@ class _PointEvaluator:
         from repro.hardware import extract_workload
 
         counters.record_sweep_point_run()
-        awb, hygcn = self._baseline_reports(point.dataset, point.arch)
+        awb, hygcn = self._baseline_reports(
+            point.dataset, point.arch, point.seed
+        )
         result = self._gcod_result(point)
         wl = extract_workload(
             result.final_graph, result.layout, point.arch, paper_scale=True
         )
-        platform = self._gcod_platform(point.bits, point.hw_scale)
+        platform = self._gcod_platform(
+            point.bits, point.hw_scale, point.tech_node
+        )
         report = platform.run(wl)
+        budget = platform.budget()
         sim = self._simulate_aggregation(wl, result, platform)
         speedup = awb.latency_s / report.latency_s
         bw_red = 1.0 - report.required_bandwidth_gbps / max(
@@ -295,6 +347,7 @@ class _PointEvaluator:
             prune_ratio=point.config.prune_ratio,
             bits=point.bits,
             hw_scale=point.hw_scale,
+            tech_node=point.tech_node,
             kernel_backend=point.kernel_backend,
             speedup_vs_awb=float(speedup),
             bw_reduction_vs_hygcn=float(bw_red),
@@ -308,6 +361,8 @@ class _PointEvaluator:
             hygcn_required_bw_gbps=float(hygcn.required_bandwidth_gbps),
             gcod_energy_j=float(report.energy.total_j),
             gcod_dram_bytes=float(report.offchip_bytes),
+            area_mm2=float(budget.area_mm2),
+            tdp_w=float(budget.tdp_w),
             comb_energy=report.combination.energy,
             agg_energy=report.aggregation.energy,
             agg_sim_cycles=float(sim.cycles) if sim is not None else 0.0,
@@ -392,9 +447,13 @@ def _evaluate_points_pooled(
     backend = context._backend_name()
     # Pre-warm the graphs every pending point's baselines need: otherwise
     # each worker sharing a dataset would race the store miss and
-    # regenerate the same graph.
-    for dataset in dict.fromkeys(plan.points[i].dataset for i in pending):
-        context.graph(dataset)
+    # regenerate the same graph. Keyed per (dataset, seed) — a seed axis
+    # means the same dataset exists at several generation seeds.
+    prewarmer = _PointEvaluator(context)
+    for dataset, seed in dict.fromkeys(
+        (plan.points[i].dataset, plan.points[i].seed) for i in pending
+    ):
+        prewarmer._graph(dataset, seed)
     payloads = [
         (
             store.root,

@@ -4,7 +4,9 @@ A :class:`SweepSpec` names a cartesian grid over the design space the paper
 explores in Sec. VI-C and the ROADMAP extends: dataset x model architecture
 x GCoD hyper-parameters (``C`` classes, ``S`` subgraphs, weight sparsity)
 x quantization ``bits`` x SpMM ``kernel_backend`` x accelerator
-``hw_scale`` (a multiplier on the GCoD PE array). ``expand`` turns the
+``hw_scale`` (a multiplier on the GCoD PE array) x ``tech_node`` (the
+7/16/28 nm silicon the budget models cost the design at) x training
+``seed`` (for mean/std variance columns). ``expand`` turns the
 grid into concrete :class:`SweepPoint`\\ s against an
 :class:`~repro.evaluation.context.EvalContext` — each point carries a fully
 resolved :class:`~repro.algorithm.config.GCoDConfig` plus the raw axis
@@ -39,18 +41,26 @@ class AxisDef:
     describe: str
     validate: Optional[Callable[[Any], bool]] = None
 
+    def _invalid(self, value: Any) -> ConfigError:
+        """The one message format for every bad axis value.
+
+        Both failure paths — an uncastable input and a castable-but-
+        out-of-range one — name the offending value *and its type*
+        (``[1, 2]`` and ``"[1, 2]"`` render identically under ``!r``
+        alone) plus what the axis wanted.
+        """
+        return ConfigError(
+            f"axis {self.name!r}: invalid value {value!r} of type "
+            f"{type(value).__name__} ({self.describe})"
+        )
+
     def coerce(self, value: Any) -> Any:
         try:
             out = self.caster(value)
-        except (TypeError, ValueError) as exc:
-            raise ConfigError(
-                f"axis {self.name!r}: cannot read {value!r} ({exc})"
-            ) from None
+        except (TypeError, ValueError):
+            raise self._invalid(value) from None
         if self.validate is not None and not self.validate(out):
-            raise ConfigError(
-                f"axis {self.name!r}: invalid value {value!r} "
-                f"({self.describe})"
-            )
+            raise self._invalid(value)
         return out
 
 
@@ -70,6 +80,12 @@ AXES: Dict[str, AxisDef] = {
         AxisDef("kernel_backend", str, "a registered SpMM kernel backend"),
         AxisDef("hw_scale", float, "PE-array multiplier, > 0",
                 lambda v: v > 0),
+        # validated against the literal node set so a bad --grid fails
+        # before any hardware module imports; repro.hardware.budget
+        # asserts the same set (tests pin them equal).
+        AxisDef("tech_node", int, "logic technology node in nm: 7, 16, 28",
+                lambda v: v in (7, 16, 28)),
+        AxisDef("seed", int, "a training seed, >= 0", lambda v: v >= 0),
     )
 }
 
@@ -82,16 +98,10 @@ def unknown_axis_error(axis_name: str) -> ConfigError:
     or one edit away (``hwscale``) — the two ways a ``--grid`` string
     actually goes wrong.
     """
-    import difflib
+    from repro.errors import did_you_mean
 
-    suggestion = ""
-    by_fold = {name.casefold(): name for name in AXES}
-    close = by_fold.get(axis_name.casefold()) or next(
-        iter(difflib.get_close_matches(axis_name, AXES, n=1, cutoff=0.6)),
-        None,
-    )
-    if close:
-        suggestion = f" (did you mean {close!r}?)"
+    close = did_you_mean(axis_name, AXES)
+    suggestion = f" (did you mean {close!r}?)" if close else ""
     return ConfigError(
         f"unknown sweep axis {axis_name!r}{suggestion}; choose from "
         f"{', '.join(AXES)}"
@@ -167,6 +177,7 @@ class SweepPoint:
     config: object  # GCoDConfig; loosely typed to keep imports light
     bits: int
     hw_scale: float
+    tech_node: int
     axes: Tuple[Tuple[str, Any], ...]
 
     def key(self) -> ArtifactKey:
@@ -180,6 +191,7 @@ class SweepPoint:
             self.profile,
             self.bits,
             self.hw_scale,
+            self.tech_node,
             dict(self.axes),
         )
 
@@ -250,6 +262,11 @@ def _point_config(context, arch: str, coords: Mapping[str, Any]):
         changes["num_subgraphs"] = effective_c
     if "sparsity" in coords:
         changes["prune_ratio"] = coords["sparsity"]
+    if "seed" in coords:
+        # The seed axis varies the *training* randomness: the config's
+        # seed and the point's seed move together (the cache key covers
+        # both through the config payload and the seed component).
+        changes["seed"] = coords["seed"]
     backend = get_backend(
         coords.get("kernel_backend", context.kernel_backend)
     ).name
@@ -301,12 +318,13 @@ def expand(spec: SweepSpec, context) -> List[SweepPoint]:
                 dataset=dataset,
                 arch=arch,
                 scale=context.scale_for(dataset),
-                seed=context.seed,
+                seed=coords.get("seed", context.seed),
                 profile=context.profile,
                 kernel_backend=backend,
                 config=config,
                 bits=coords.get("bits", 32),
                 hw_scale=float(coords.get("hw_scale", 1.0)),
+                tech_node=coords.get("tech_node", 16),
                 axes=tuple(zip(names, combo)),
             )
         )

@@ -1,0 +1,163 @@
+"""Area/power/tech-node budget models (:mod:`repro.hardware.budget`).
+
+The budget layer feeds ``--constrain`` frontiers, so its guarantees are
+about *comparability*: 16 nm is the calibration reference (models built
+without a node are byte-identical to the pre-budget ones), smaller nodes
+strictly shrink area and energy, and structural growth (more PEs, more
+SRAM, wider precision) strictly grows area and power. Unknown nodes,
+precisions, and memory kinds are usage errors, not KeyErrors.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.accelerators import GCoDAccelerator
+from repro.hardware.budget import (
+    DEFAULT_TECH_NODE_NM,
+    TECH_NODES,
+    AreaPowerModel,
+    get_tech_node,
+)
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+
+
+# ----------------------------------------------------------------------
+# tech nodes
+# ----------------------------------------------------------------------
+def test_reference_node_is_identity():
+    ref = get_tech_node(DEFAULT_TECH_NODE_NM)
+    assert ref.nm == 16
+    assert ref.area_scale == 1.0
+    assert ref.energy_scale == 1.0
+
+
+def test_nodes_order_by_density_and_energy():
+    # scaling down the node shrinks both silicon and switching energy
+    nodes = [TECH_NODES[nm] for nm in sorted(TECH_NODES)]
+    for small, big in zip(nodes, nodes[1:]):
+        assert small.area_scale < big.area_scale
+        assert small.energy_scale < big.energy_scale
+
+
+def test_unknown_tech_node_is_a_usage_error():
+    with pytest.raises(ConfigError, match="unknown tech node 10"):
+        get_tech_node(10)
+    with pytest.raises(ConfigError, match=r"choose from 7, 16, 28"):
+        get_tech_node(12)
+    with pytest.raises(ConfigError):
+        get_tech_node("seven")
+
+
+# ----------------------------------------------------------------------
+# the area/power model
+# ----------------------------------------------------------------------
+def test_estimate_breakdown_sums_consistently():
+    est = AreaPowerModel().estimate(bits=32, num_pes=4096,
+                                    onchip_bytes=8 * 2**20)
+    assert est.area_mm2 > est.pe_area_mm2 + est.sram_area_mm2  # overhead
+    assert est.tdp_w > est.pe_power_w + est.sram_power_w + est.dram_power_w
+    assert est.pe_area_mm2 > 0 and est.sram_area_mm2 > 0
+    assert est.pe_power_w > 0 and est.sram_power_w > 0
+    assert est.dram_power_w > 0
+    summary = est.to_summary_dict()
+    assert set(summary) == {"area_mm2", "tdp_w"}
+
+
+def test_more_pes_cost_more_area_and_power():
+    model = AreaPowerModel()
+    small = model.estimate(bits=32, num_pes=1024, onchip_bytes=2**20)
+    big = model.estimate(bits=32, num_pes=8192, onchip_bytes=2**20)
+    assert big.area_mm2 > small.area_mm2
+    assert big.tdp_w > small.tdp_w
+
+
+def test_quantization_shrinks_the_budget():
+    model = AreaPowerModel()
+    fp32 = model.estimate(bits=32, num_pes=4096, onchip_bytes=2**20)
+    int8 = model.estimate(bits=8, num_pes=4096, onchip_bytes=2**20)
+    assert int8.area_mm2 < fp32.area_mm2
+    assert int8.tdp_w < fp32.tdp_w
+
+
+def test_node_scaling_moves_logic_but_not_dram():
+    args = dict(bits=32, num_pes=4096, onchip_bytes=4 * 2**20)
+    n7 = AreaPowerModel(7).estimate(**args)
+    n16 = AreaPowerModel(16).estimate(**args)
+    n28 = AreaPowerModel(28).estimate(**args)
+    assert n7.area_mm2 < n16.area_mm2 < n28.area_mm2
+    assert n7.tdp_w < n16.tdp_w < n28.tdp_w
+    # the HBM PHY is board-level: identical at every node
+    assert n7.dram_power_w == n16.dram_power_w == n28.dram_power_w
+
+
+def test_unknown_precision_and_bad_pe_count_are_usage_errors():
+    model = AreaPowerModel()
+    with pytest.raises(ConfigError, match="unknown precision 16"):
+        model.estimate(bits=16, num_pes=1024, onchip_bytes=2**20)
+    with pytest.raises(ConfigError, match="num_pes"):
+        model.estimate(bits=32, num_pes=0, onchip_bytes=2**20)
+
+
+def test_accelerator_budget_reflects_its_structure():
+    base = GCoDAccelerator().budget()
+    int8 = GCoDAccelerator(bits=8).budget()
+    scaled = GCoDAccelerator(num_pes=8192).budget()
+    n7 = GCoDAccelerator(tech_node=7).budget()
+    assert int8.area_mm2 < base.area_mm2
+    assert scaled.tdp_w > base.tdp_w
+    assert n7.area_mm2 < base.area_mm2 and n7.tdp_w < base.tdp_w
+
+
+# ----------------------------------------------------------------------
+# EnergyModel: tech scaling + validation bugfixes
+# ----------------------------------------------------------------------
+def test_energy_model_default_node_is_byte_identical():
+    ref = EnergyModel(bits=32)
+    at16 = EnergyModel(bits=32, tech_node=16)
+    macs, onchip, offchip = 1e9, 1e8, 1e7
+    assert ref.energy(macs, onchip, offchip) == \
+        at16.energy(macs, onchip, offchip)
+
+
+def test_energy_model_scales_logic_not_dram():
+    n7 = EnergyModel(bits=32, tech_node=7)
+    n16 = EnergyModel(bits=32, tech_node=16)
+    assert n7.mac_pj < n16.mac_pj
+    assert n7.sram_pj < n16.sram_pj
+    assert n7.mem_pj == n16.mem_pj  # off-chip is board-level
+    e7 = n7.energy(1e9, 1e8, 1e7)
+    e16 = n16.energy(1e9, 1e8, 1e7)
+    assert e7.compute_j < e16.compute_j
+    assert e7.onchip_j < e16.onchip_j
+    assert e7.offchip_j == e16.offchip_j
+
+
+def test_unknown_memory_kind_is_a_config_error():
+    """Bugfix: a raw ``KeyError: 'hmb'`` leaked out of ``__init__``;
+    it must be a usage error naming the known kinds (CLI exit 2)."""
+    with pytest.raises(ConfigError, match="unknown memory kind 'sram'"):
+        EnergyModel(memory_kind="sram")
+    with pytest.raises(ConfigError, match="choose from hbm, ddr, gddr"):
+        EnergyModel(memory_kind="flash")
+
+
+def test_unknown_memory_kind_suggests_near_misses():
+    with pytest.raises(ConfigError, match="did you mean 'hbm'"):
+        EnergyModel(memory_kind="hmb")
+    with pytest.raises(ConfigError, match="did you mean 'gddr'"):
+        EnergyModel(memory_kind="gddr6")
+    with pytest.raises(ConfigError) as exc:
+        EnergyModel(memory_kind="optane")
+    assert "did you mean" not in str(exc.value)
+
+
+def test_zero_total_fractions_are_exact_zeros():
+    """Bugfix: an empty breakdown used to report near-zero garbage
+    (a clamped 1e-30 denominator); shares of nothing are exactly 0."""
+    empty = EnergyBreakdown()
+    assert empty.total_j == 0.0
+    assert empty.fractions() == {"compute": 0.0, "onchip": 0.0,
+                                 "offchip": 0.0}
+    # a real breakdown still normalizes to 1
+    real = EnergyBreakdown(compute_j=1.0, onchip_j=2.0, offchip_j=5.0)
+    assert sum(real.fractions().values()) == pytest.approx(1.0)

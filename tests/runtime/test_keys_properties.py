@@ -123,15 +123,18 @@ def test_sweep_key_separates_platform_axes(config, seed):
     """bits/hw_scale/axes are part of the point key, not the gcod key."""
     base = dict(dataset="cora", scale=0.1, arch="gcn", config=config,
                 kernel_backend=None, seed=seed, profile="fast")
-    a = sweep_point_key(**base, bits=32, hw_scale=1.0, axes={"C": 2})
+    a = sweep_point_key(**base, bits=32, hw_scale=1.0, tech_node=16,
+                        axes={"C": 2})
     assert a.digest == sweep_point_key(**base, bits=32, hw_scale=1.0,
-                                       axes={"C": 2}).digest
+                                       tech_node=16, axes={"C": 2}).digest
     assert a.digest != sweep_point_key(**base, bits=8, hw_scale=1.0,
-                                       axes={"C": 2}).digest
+                                       tech_node=16, axes={"C": 2}).digest
     assert a.digest != sweep_point_key(**base, bits=32, hw_scale=2.0,
-                                       axes={"C": 2}).digest
+                                       tech_node=16, axes={"C": 2}).digest
     assert a.digest != sweep_point_key(**base, bits=32, hw_scale=1.0,
-                                       axes={"C": 3}).digest
+                                       tech_node=7, axes={"C": 2}).digest
+    assert a.digest != sweep_point_key(**base, bits=32, hw_scale=1.0,
+                                       tech_node=16, axes={"C": 3}).digest
 
 
 @given(st.dictionaries(
@@ -167,7 +170,7 @@ config = GCoDConfig(num_classes=3, num_subgraphs=9, prune_ratio=0.25,
 print(graph_key("cora", 0.125, 7).digest)
 print(gcod_key("reddit", None, "gin", config, None, 3, "full").digest)
 print(sweep_point_key("cora", 0.1, "gcn", config, None, 0, "fast",
-                      bits=8, hw_scale=0.5,
+                      bits=8, hw_scale=0.5, tech_node=16,
                       axes={{"C": 3, "S": 9}}).digest)
 print(make_key("graph", text="snowman \\u2603", value=1.5).digest)
 """
@@ -185,7 +188,7 @@ print(make_key("graph", text="snowman \\u2603", value=1.5).digest)
         graph_key("cora", 0.125, 7).digest,
         gcod_key("reddit", None, "gin", config, None, 3, "full").digest,
         sweep_point_key("cora", 0.1, "gcn", config, None, 0, "fast",
-                        bits=8, hw_scale=0.5,
+                        bits=8, hw_scale=0.5, tech_node=16,
                         axes={"C": 3, "S": 9}).digest,
         make_key("graph", text="snowman ☃", value=1.5).digest,
     ]

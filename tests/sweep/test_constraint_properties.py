@@ -1,0 +1,192 @@
+"""Property tier for constrained frontiers and seed variance (hypothesis).
+
+The load-bearing algebra for *any* point cloud and *any* budget:
+
+* the constrained frontier is a subset of the feasible set;
+* every feasible member of the unconstrained frontier survives
+  constraining (nothing dominated it globally, so nothing dominates it
+  among the feasible subset either);
+* when every constraint bounds a *minimized objective* from above —
+  the aligned case the acceptance command exercises — subset-pareto
+  coincides exactly with post-hoc filtering of the unconstrained
+  frontier;
+* constrained-frontier membership is invariant under point permutation;
+* with a single seed per group, the variance table reduces to the exact
+  point values with a population std of exactly 0.
+"""
+
+import dataclasses
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sweep.aggregate import (  # noqa: E402
+    VARIANCE_METRICS,
+    pareto_frontier,
+    seed_variance_result,
+)
+from repro.sweep.constraints import (  # noqa: E402
+    CONSTRAINT_METRICS,
+    Constraint,
+    is_feasible,
+)
+from repro.sweep.spec import SweepSpec  # noqa: E402
+
+
+@dataclasses.dataclass
+class FakePoint:
+    """Just the metric attributes objectives and constraints read."""
+
+    speedup_vs_awb: float
+    accuracy: float
+    gcod_energy_j: float
+    gcod_dram_bytes: float
+    gcod_latency_s: float
+    gcod_required_bw_gbps: float
+    tdp_w: float
+    area_mm2: float
+
+
+metric = st.one_of(
+    st.integers(0, 3).map(float),
+    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+points = st.builds(FakePoint, metric, metric, metric, metric, metric,
+                   metric, metric, metric)
+point_lists = st.lists(points, min_size=1, max_size=16)
+
+#: Bounds drawn from the same range as the metrics, so feasible sets of
+#: every size (empty, partial, total) actually get generated.
+constraints = st.builds(
+    Constraint,
+    metric=st.sampled_from(sorted(CONSTRAINT_METRICS)).map(
+        CONSTRAINT_METRICS.get
+    ),
+    op=st.sampled_from(["<=", "<", ">=", ">"]),
+    bound=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+constraint_sets = st.lists(constraints, min_size=1, max_size=3).map(tuple)
+
+OBJS = ("speedup", "energy")
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts=point_lists, cons=constraint_sets)
+def test_constrained_frontier_is_feasible(pts, cons):
+    for r in pareto_frontier(pts, OBJS, cons):
+        assert is_feasible(r, cons)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts=point_lists, cons=constraint_sets)
+def test_feasible_unconstrained_winners_survive_constraining(pts, cons):
+    constrained = {id(r) for r in pareto_frontier(pts, OBJS, cons)}
+    for r in pareto_frontier(pts, OBJS):
+        if is_feasible(r, cons):
+            assert id(r) in constrained
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts=point_lists, cons=constraint_sets)
+def test_constrained_equals_frontier_of_feasible_subset(pts, cons):
+    feasible = [r for r in pts if is_feasible(r, cons)]
+    assert {id(r) for r in pareto_frontier(pts, OBJS, cons)} == {
+        id(r) for r in pareto_frontier(feasible, OBJS) if feasible
+    }
+
+
+#: The aligned case: upper bounds on metrics that are also minimized
+#: objectives. Any dominator of a feasible point is then itself feasible,
+#: so subset-pareto must coincide with post-hoc filtering.
+aligned_constraints = st.lists(
+    st.builds(
+        Constraint,
+        metric=st.sampled_from(["power", "energy"]).map(
+            CONSTRAINT_METRICS.get
+        ),
+        op=st.sampled_from(["<=", "<"]),
+        bound=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=2,
+).map(tuple)
+
+ALIGNED_OBJS = ("speedup", "energy", "power")
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts=point_lists, cons=aligned_constraints)
+def test_aligned_constraints_match_posthoc_filtering(pts, cons):
+    subset = pareto_frontier(pts, ALIGNED_OBJS, cons)
+    posthoc = [
+        r for r in pareto_frontier(pts, ALIGNED_OBJS)
+        if is_feasible(r, cons)
+    ]
+    assert {id(r) for r in subset} == {id(r) for r in posthoc}
+
+
+@st.composite
+def lists_with_permutation(draw):
+    pts = draw(point_lists)
+    return pts, draw(st.permutations(pts))
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=lists_with_permutation(), cons=constraint_sets)
+def test_constrained_membership_invariant_under_permutation(pair, cons):
+    pts, shuffled = pair
+    assert {id(r) for r in pareto_frontier(pts, OBJS, cons)} == {
+        id(r) for r in pareto_frontier(shuffled, OBJS, cons)
+    }
+
+
+# ----------------------------------------------------------------------
+# seed variance degenerates exactly with one seed per group
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class FakeSeedPoint(FakePoint):
+    balance: float
+    bw_reduction_vs_hygcn: float
+    agg_sim_cycles: float
+    agg_dma_utilization: float
+    axes: tuple = ()
+
+    def coord(self, axis, default=None):
+        for name, value in self.axes:
+            if name == axis:
+                return value
+        return default
+
+
+seed_points = st.builds(
+    FakeSeedPoint, metric, metric, metric, metric, metric, metric,
+    metric, metric, metric, metric, metric, metric,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=st.lists(seed_points, min_size=1, max_size=6))
+def test_single_seed_variance_is_exact(pts):
+    spec = SweepSpec(name="t", title="t",
+                     axes={"C": tuple(range(1, len(pts) + 1)), "seed": (0,)})
+    for i, p in enumerate(pts):
+        p.axes = (("C", i + 1), ("seed", 0))
+    table = seed_variance_result(spec, pts)
+    assert table is not None
+    assert table.headers[:2] == ("C", "seeds")
+    assert len(table.rows) == len(pts)  # one group per C value
+    for row, p in zip(table.rows, pts):
+        assert row[1] == 1  # a single seed in every group
+        cells = row[2:]
+        for (stem, attr), mean, std in zip(
+            VARIANCE_METRICS, cells[0::2], cells[1::2]
+        ):
+            assert mean == f"{float(getattr(p, attr)):.6g}"
+            assert std == "0"  # population std: exactly zero, not tiny
+
+
+def test_no_seed_axis_means_no_table():
+    spec = SweepSpec(name="t", title="t", axes={"C": (1, 2)})
+    assert seed_variance_result(spec, []) is None

@@ -1,0 +1,214 @@
+"""Budget constraints: parsing, feasibility, constrained frontiers, CLI.
+
+The pure-parsing layer needs no training; the grid-level assertions run
+one throwaway-scale training and fan the platform axes out analytically
+(32-bit at ``hw_scale=1`` sits under the 5 W example budget, ``hw_scale=2``
+does not — the boundary the `feasible` column must document).
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.evaluation import EvalContext
+from repro.runtime.store import ArtifactStore
+from repro.sweep import (
+    SweepSpec,
+    describe_constraints,
+    is_feasible,
+    long_form_result,
+    pareto_frontier,
+    pareto_result,
+    parse_constraints,
+    parse_grid,
+    resolve_constraints,
+    run_sweep,
+)
+
+#: One training run; 32-bit x {1x, 2x} PE arrays straddle the 5 W budget.
+GRID = "dataset=cora;C=1;S=4;bits=32,8;hw_scale=1,2"
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def test_parse_all_operators_and_notation():
+    cons = parse_constraints("power<=5,area<40.5,dram<=2e9,latency>1e-6")
+    assert [(c.metric.name, c.op, c.bound) for c in cons] == [
+        ("power", "<=", 5.0),
+        ("area", "<", 40.5),
+        ("dram", "<=", 2e9),
+        ("latency", ">", 1e-6),
+    ]
+
+
+def test_parse_is_case_insensitive_and_whitespace_tolerant():
+    cons = parse_constraints(" Power <= 5 , AREA<=40 ,")
+    assert [c.metric.name for c in cons] == ["power", "area"]
+
+
+def test_repeated_metric_brackets_a_range():
+    cons = parse_constraints("latency>=1e-6,latency<=1e-3")
+    assert len(cons) == 2
+    assert {c.op for c in cons} == {">=", "<="}
+
+
+def test_describe_is_stable_and_readable():
+    cons = parse_constraints("power<=5,dram<=2e9")
+    assert describe_constraints(cons) == \
+        "power <= 5 [W], dram <= 2e+09 [bytes]"
+
+
+def test_unknown_metric_exits_with_did_you_mean():
+    with pytest.raises(ConfigError, match="did you mean 'power'"):
+        parse_constraints("powr<=5")
+    with pytest.raises(ConfigError, match="did you mean 'area'"):
+        parse_constraints("Area2<=40")
+    with pytest.raises(ConfigError,
+                       match="choose from power, area, energy, dram"):
+        parse_constraints("zzz<=1")
+
+
+def test_malformed_clauses_are_usage_errors():
+    with pytest.raises(ConfigError, match="not of the form"):
+        parse_constraints("power=5")
+    with pytest.raises(ConfigError, match="is not a number"):
+        parse_constraints("power<=five")
+    with pytest.raises(ConfigError, match="selected no constraints"):
+        parse_constraints(" , ")
+
+
+def test_resolve_accepts_all_forms():
+    assert resolve_constraints(None) == ()
+    cons = parse_constraints("power<=5")
+    assert resolve_constraints("power<=5") == cons
+    assert resolve_constraints(cons) == cons
+
+
+# ----------------------------------------------------------------------
+# feasibility and constrained frontiers over a real grid
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sweep_report(tmp_path_factory):
+    ctx = EvalContext(
+        profile="fast",
+        store=ArtifactStore(str(tmp_path_factory.mktemp("constraints"))),
+    )
+    ctx.dataset_scales = {"cora": 0.06}
+    spec = SweepSpec(name="budget", title="Budget grid",
+                     axes=parse_grid(GRID))
+    return spec, run_sweep(ctx, spec, jobs=1)
+
+
+def test_power_budget_splits_the_grid(sweep_report):
+    _, report = sweep_report
+    cons = parse_constraints("power<=5")
+    feasible = [r for r in report.results if is_feasible(r, cons)]
+    infeasible = [r for r in report.results if not is_feasible(r, cons)]
+    assert feasible and infeasible  # the grid straddles the budget
+    assert all(r.tdp_w <= 5 for r in feasible)
+    assert all(r.tdp_w > 5 for r in infeasible)
+    # the 2x 32-bit array is what blows the budget
+    assert all(r.coord("hw_scale") == 2 and r.bits == 32
+               for r in infeasible)
+
+
+def test_constrained_frontier_is_feasible_and_sound(sweep_report):
+    from repro.sweep import dominates
+
+    _, report = sweep_report
+    objs = ("speedup", "energy")
+    cons = parse_constraints("power<=5")
+    frontier = pareto_frontier(report.results, objs, cons)
+    assert frontier
+    assert all(is_feasible(r, cons) for r in frontier)
+    feasible = [r for r in report.results if is_feasible(r, cons)]
+    ids = {id(r) for r in frontier}
+    for r in feasible:
+        if id(r) not in ids:
+            assert any(dominates(f, r, objs) for f in frontier)
+
+
+def test_infeasible_dominators_do_not_prune(sweep_report):
+    """Subset-pareto semantics: a budget-busting point never knocks a
+    buildable one off the frontier, even if it dominates it outright."""
+    _, report = sweep_report
+    objs = ("speedup", "latency")
+    # constrain to *only* the 2x points' complement: every 1x point is
+    # feasible, and the faster 2x designs must not shadow them.
+    cons = parse_constraints("power<=5")
+    constrained = {id(r) for r in
+                   pareto_frontier(report.results, objs, cons)}
+    feasible_only = pareto_frontier(
+        [r for r in report.results if is_feasible(r, cons)], objs
+    )
+    assert constrained == {id(r) for r in feasible_only}
+
+
+def test_long_form_flags_every_point(sweep_report):
+    spec, report = sweep_report
+    cons = parse_constraints("power<=5")
+    table = long_form_result(spec, report.results, cons)
+    assert table.headers[-1] == "feasible"
+    assert len(table.rows) == len(report.results)  # nothing dropped
+    flags = [row[-1] for row in table.rows]
+    assert set(flags) == {"yes", "no"}
+    n_yes = flags.count("yes")
+    assert f"{n_yes} of {len(report.results)} satisfy " \
+        f"power <= 5 [W]." in table.extra_text
+    # without constraints the column and the sentence are absent
+    plain = long_form_result(spec, report.results)
+    assert "feasible" not in plain.headers
+    assert "satisfy" not in plain.extra_text
+
+
+def test_pareto_text_names_budget_and_counts(sweep_report):
+    spec, report = sweep_report
+    result = pareto_result(spec, report.results,
+                           objectives="speedup,energy",
+                           constraints="power<=5,area<=40")
+    assert "feasible design points" in result.extra_text
+    assert "under power <= 5 [W], area <= 40 [mm2]." in result.extra_text
+    # the unconstrained sentence is untouched (byte-compat with PR 8)
+    plain = pareto_result(spec, report.results,
+                          objectives="speedup,energy")
+    assert "under" not in plain.extra_text
+    assert "are Pareto-optimal on (speedup vs AWB-GCN, energy)." in \
+        plain.extra_text
+
+
+def test_unsatisfiable_budget_empties_the_frontier(sweep_report):
+    spec, report = sweep_report
+    cons = parse_constraints("power<=0.001")
+    assert pareto_frontier(report.results, None, cons) == []
+    result = pareto_result(spec, report.results, constraints=cons)
+    assert result.rows == []
+    assert "0 of 0 feasible design points" in result.extra_text
+
+
+# ----------------------------------------------------------------------
+# CLI surface (errors fire before any planning or training)
+# ----------------------------------------------------------------------
+def run_cli(argv, capsys):
+    from repro.cli import main
+
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_unknown_constraint_metric_exits_2(capsys):
+    code, _, err = run_cli(
+        ["sweep", "--grid", "C=1", "--constrain", "powr<=5"], capsys
+    )
+    assert code == 2
+    assert "unknown constraint metric 'powr'" in err
+    assert "did you mean 'power'?" in err
+    assert "choose from" in err
+
+
+def test_cli_malformed_constraint_exits_2(capsys):
+    code, _, err = run_cli(
+        ["sweep", "--grid", "C=1", "--constrain", "power=5"], capsys
+    )
+    assert code == 2
+    assert "not of the form" in err

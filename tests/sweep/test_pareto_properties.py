@@ -40,6 +40,8 @@ class FakePoint:
     gcod_dram_bytes: float
     gcod_latency_s: float
     gcod_required_bw_gbps: float
+    tdp_w: float
+    area_mm2: float
 
 
 #: Mix a coarse integer lattice into the floats so ties and exact
@@ -48,7 +50,8 @@ metric = st.one_of(
     st.integers(0, 3).map(float),
     st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
 )
-points = st.builds(FakePoint, metric, metric, metric, metric, metric, metric)
+points = st.builds(FakePoint, metric, metric, metric, metric, metric,
+                   metric, metric, metric)
 point_lists = st.lists(points, min_size=1, max_size=16)
 objective_sets = st.lists(
     st.sampled_from(sorted(OBJECTIVES)), min_size=1, max_size=4, unique=True

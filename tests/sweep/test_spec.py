@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigError, UnknownDatasetError, UnknownSweepError
 from repro.evaluation import EvalContext
 from repro.sweep import (
+    AXES,
     SweepSpec,
     all_sweeps,
     expand,
@@ -220,3 +221,71 @@ def test_duplicate_sweep_registration_rejected():
     with pytest.raises(ValueError, match="already registered"):
         register_sweep(SweepSpec(name="ablation-cs", title="dup",
                                  axes={"C": (1,)}))
+
+
+# ----------------------------------------------------------------------
+# axis-coercion diagnostics and the budget/seed axes
+# ----------------------------------------------------------------------
+def test_coerce_errors_name_value_and_type():
+    """Both failure paths — uncastable and out-of-range — use the one
+    message format naming the offending value *and its type* (a list and
+    its string spelling render identically under !r alone)."""
+    with pytest.raises(ConfigError,
+                       match=r"axis 'C': invalid value 'x' of type str"):
+        parse_grid("C=x")
+    with pytest.raises(ConfigError,
+                       match=r"axis 'bits': invalid value '12' of type "
+                             r"str \(platform precision: 8 or 32\)"):
+        parse_grid("bits=12")
+    with pytest.raises(ConfigError,
+                       match=r"axis 'bits': invalid value \[8\] of type "
+                             r"list"):
+        SweepSpec(name="t", title="t", axes={"bits": ([8],)})
+    with pytest.raises(ConfigError,
+                       match=r"invalid value 1.5 of type float"):
+        SweepSpec(name="t", title="t", axes={"sparsity": (1.5,)})
+
+
+def test_tech_node_axis_parses_and_expands():
+    axes = parse_grid("tech_node=7,16,28")
+    assert axes["tech_node"] == (7, 16, 28)
+    points = expand(SweepSpec(name="t", title="t", axes=axes), ctx())
+    assert [p.tech_node for p in points] == [7, 16, 28]
+    # without the axis every point sits at the 16 nm reference
+    default = expand(SweepSpec(name="t", title="t", axes={"C": (1,)}),
+                     ctx())[0]
+    assert default.tech_node == 16
+    with pytest.raises(ConfigError, match=r"axis 'tech_node'"):
+        parse_grid("tech_node=10")
+
+
+def test_tech_node_axis_matches_budget_registry():
+    # the axis validator spells the node set literally (to stay
+    # import-light); it must never drift from the budget models'
+    from repro.hardware.budget import TECH_NODES
+
+    ok = [nm for nm in (5, 7, 10, 12, 16, 22, 28, 45)
+          if nm in TECH_NODES]
+    axis = AXES["tech_node"]
+    assert [nm for nm in (5, 7, 10, 12, 16, 22, 28, 45)
+            if axis.validate(nm)] == ok
+
+
+def test_seed_axis_varies_training_seed_and_key():
+    axes = parse_grid("C=1;seed=0,1")
+    points = expand(SweepSpec(name="t", title="t", axes=axes), ctx())
+    assert [p.seed for p in points] == [0, 1]
+    assert [p.config.seed for p in points] == [0, 1]
+    assert points[0].key().digest != points[1].key().digest
+    assert points[0].gcod_task().key().digest != \
+        points[1].gcod_task().key().digest
+    with pytest.raises(ConfigError, match=r"axis 'seed'"):
+        parse_grid("seed=-1")
+
+
+def test_tech_node_changes_point_key_not_training_key():
+    # silicon node is a platform knob: same trained pipeline, new point
+    a, b = expand(SweepSpec(name="t", title="t",
+                            axes={"tech_node": (7, 28)}), ctx())
+    assert a.gcod_task().key().digest == b.gcod_task().key().digest
+    assert a.key().digest != b.key().digest
