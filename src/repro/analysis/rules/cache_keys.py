@@ -36,14 +36,15 @@ DECLARATION = "KEY_FIELD_COVERAGE"
 SUBJECTS = {
     "GCoDConfig": "algorithm/config.py",
     "SweepSpec": "sweep/spec.py",
+    "SweepPoint": "sweep/spec.py",
 }
 
 
 class KeyCoverageRule(Rule):
     id = "key-coverage"
     description = (
-        "every GCoDConfig/SweepSpec field is declared covered (or "
-        "exempt) by the key functions in runtime/keys.py"
+        "every GCoDConfig/SweepSpec/SweepPoint field is declared covered "
+        "(or exempt) by the key functions in runtime/keys.py"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:

@@ -51,6 +51,11 @@ SERIALIZED_SHAPES: Dict[str, Tuple[str, ...]] = {
     "evaluation/context.py": ("ExperimentResult",),
     "runtime/store.py": ("StoreEntry",),
     "serve/schema.py": ("ServeRequest", "ServeResponse"),
+    "hardware/pipeline.py": (
+        "WorkloadNode",
+        "WorkloadGraph",
+        "WorkloadGraphReport",
+    ),
 }
 
 

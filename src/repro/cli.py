@@ -28,6 +28,16 @@ Commands
     resumes from its stored manifest with ``--resume``, re-running only
     the missing points (``--format json|csv --out DIR`` for
     machine-readable files).
+``workload``
+    Evaluate a multi-model workload DAG on one shared GCoD accelerator:
+    ``--workload "cora/gcn+citeseer/gat"`` (shorthand: ``+`` joins
+    concurrent nodes time-slicing the PE array, ``>`` joins sequential
+    phases, each node is ``dataset/arch[/layers][@share]``) or ``--file
+    graph.json`` for arbitrary DAGs. Per-node extraction reuses the
+    store-backed GCoD training artifacts; the output is a per-node
+    latency/PE table plus the contention-merged totals (``--format
+    json`` for machines). The same shorthand is a sweep axis:
+    ``repro sweep --grid "workload=cora/gcn+cora/gat;bits=8,32"``.
 ``cache``
     Inspect the persistent artifact store: ``ls``, ``stats``, ``clear``.
 ``store serve``
@@ -365,6 +375,60 @@ def _cmd_sweep(args, ctx: EvalContext) -> int:
     return 0
 
 
+def _cmd_workload(args, ctx: EvalContext) -> int:
+    from repro.hardware.pipeline import (
+        PipelineSettings,
+        evaluate_workload,
+        parse_workload,
+        workload_from_json,
+    )
+
+    if bool(args.workload) == bool(args.file):
+        print("pass --workload SHORTHAND or --file JSON (exactly one)",
+              file=sys.stderr)
+        return 2
+    if args.workload:
+        graph = parse_workload(args.workload)
+    else:
+        try:
+            with open(args.file) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"cannot read workload JSON {args.file!r}: {exc}"
+            ) from None
+        graph = workload_from_json(data)
+
+    settings = PipelineSettings(
+        bits=args.bits, hw_scale=args.hw_scale, tech_node=args.tech_node
+    )
+    report = evaluate_workload(graph, ctx, settings)
+
+    if args.format == "json":
+        json.dump(report.to_jsonable(), sys.stdout, indent=2)
+        print()
+        return 0
+
+    merged = report.merged()
+    node_pes = dict(report.node_pes)
+    print(f"workload {graph.name!r} on {report.platform} "
+          f"({int(report.notes['levels'])} level(s), "
+          f"{sum(node_pes.values())} PEs allocated)")
+    print(f"  {'node':<24} {'PEs':>6} {'latency':>12} {'energy':>10} "
+          f"{'DRAM':>10}")
+    for name, node_report in report.node_reports:
+        print(f"  {name:<24} {node_pes[name]:>6} "
+              f"{node_report.latency_s * 1e3:>10.3f}ms "
+              f"{node_report.energy.total_j * 1e3:>8.3f}mJ "
+              f"{_human_bytes(node_report.offchip_bytes):>10}")
+    print(f"  {'merged':<24} {'':>6} {merged.latency_s * 1e3:>10.3f}ms "
+          f"{merged.energy.total_j * 1e3:>8.3f}mJ "
+          f"{_human_bytes(merged.offchip_bytes):>10}")
+    print(f"  required bandwidth: {merged.required_bandwidth_gbps:.2f} "
+          f"GB/s")
+    return 0
+
+
 def _human_bytes(n: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(n) < 1024 or unit == "GB":
@@ -625,6 +689,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--quiet", action="store_true",
                       help="suppress progress lines on stderr")
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_wl = sub.add_parser("workload",
+                          help="evaluate a multi-model workload DAG")
+    p_wl.add_argument("--workload", "-w", default=None, metavar="SHORTHAND",
+                      help="workload DAG shorthand, e.g. "
+                           "\"cora/gcn+citeseer/gat\" (`+` concurrent, "
+                           "`>` sequential, node = "
+                           "dataset/arch[/layers][@share])")
+    p_wl.add_argument("--file", "-f", default=None, metavar="JSON",
+                      help="workload DAG as a JSON file (arbitrary "
+                           "dependencies; see the README's schema)")
+    p_wl.add_argument("--bits", type=int, choices=(8, 32), default=32,
+                      help="platform precision (default: 32)")
+    p_wl.add_argument("--hw-scale", type=float, default=1.0,
+                      help="PE-array multiplier on the shared accelerator "
+                           "(default: 1.0)")
+    p_wl.add_argument("--tech-node", type=int, choices=(7, 16, 28),
+                      default=16,
+                      help="logic technology node in nm (default: 16)")
+    p_wl.add_argument("--format", choices=("table", "json"),
+                      default="table", help="output format")
+    p_wl.set_defaults(func=_cmd_workload)
 
     p_cache = sub.add_parser("cache", help="inspect the artifact store")
     p_cache.add_argument("action", choices=("ls", "stats", "clear"))

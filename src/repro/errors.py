@@ -34,6 +34,19 @@ def did_you_mean(
     return close
 
 
+def invalid_value_error(name: str, value, describe: str) -> "ConfigError":
+    """The one message format for a bad scalar setting.
+
+    Mirrors ``AxisDef.coerce``'s wording — names the offending value *and
+    its type* plus what the setting wanted — so ``hidden=0`` rejections
+    read exactly like a bad ``--grid`` axis value.
+    """
+    return ConfigError(
+        f"{name}: invalid value {value!r} of type "
+        f"{type(value).__name__} ({describe})"
+    )
+
+
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 

@@ -8,6 +8,7 @@ from repro.evaluation.experiments import (
     fig10_large_speedups,
     fig11_memory,
     fig12_energy,
+    multi_tenant,
     reordering_compare,
     tab03_datasets,
     tab04_models,
@@ -25,6 +26,7 @@ __all__ = [
     "fig10_large_speedups",
     "fig11_memory",
     "fig12_energy",
+    "multi_tenant",
     "reordering_compare",
     "tab03_datasets",
     "tab04_models",

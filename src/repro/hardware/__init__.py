@@ -57,6 +57,20 @@ from repro.hardware.accelerators import (
     all_platforms,
     system_configurations,
 )
+from repro.hardware.pipeline import (
+    PipelineSettings,
+    Stage,
+    WorkloadGraph,
+    WorkloadGraphReport,
+    WorkloadNode,
+    evaluate_workload,
+    get_stage,
+    parse_workload,
+    register_stage,
+    slice_workload,
+    stage_names,
+    workload_from_json,
+)
 
 __all__ = [
     "Buffer",
@@ -100,4 +114,16 @@ __all__ = [
     "SoftwarePlatform",
     "all_platforms",
     "system_configurations",
+    "PipelineSettings",
+    "Stage",
+    "WorkloadGraph",
+    "WorkloadGraphReport",
+    "WorkloadNode",
+    "evaluate_workload",
+    "get_stage",
+    "parse_workload",
+    "register_stage",
+    "slice_workload",
+    "stage_names",
+    "workload_from_json",
 ]

@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.errors import invalid_value_error
 from repro.graphs.graph import Graph
 from repro.partition.layout import BlockLayout
 from repro.sparse import from_scipy
@@ -188,10 +189,14 @@ def adjacency_profile(
     adj = sp.csr_matrix(adj)
     n = adj.shape[0]
     nnz = int(adj.nnz)
-    csc = adj.tocsc()
-    empty_cols = int((np.diff(csc.indptr) == 0).sum())
 
     if layout is None:
+        # The full-matrix CSC (and its empty-column count) is only needed
+        # on this branch: the layout branch recomputes both over the
+        # sparser split, so building them unconditionally wasted O(nnz)
+        # on the hot extraction path.
+        csc = adj.tocsc()
+        empty_cols = int((np.diff(csc.indptr) == 0).sum())
         coo_bytes = from_scipy(adj, "coo").storage_bytes()
         csc_bytes = from_scipy(adj, "csc").storage_bytes()
         return AdjacencyProfile(
@@ -245,7 +250,15 @@ def extract_workload(
         layout = graph.meta.get("layout")
     from repro.nn.models import hidden_dim_for
 
-    hidden = hidden or hidden_dim_for(graph.name)
+    if hidden is None:
+        hidden = hidden_dim_for(graph.name)
+    elif hidden <= 0:
+        # `hidden or default` would silently swap 0 for the dataset
+        # default; an explicit non-positive width is a config mistake.
+        raise invalid_value_error(
+            "hidden", hidden,
+            "a positive hidden width, or None for the dataset default",
+        )
     x_density = float(
         np.count_nonzero(graph.features) / max(graph.features.size, 1)
     )
@@ -287,11 +300,29 @@ def _rescale_profile(
 
     Structure-derived ratios (dense fraction, balance, skip fraction) are
     preserved; counts and byte footprints scale linearly.
+
+    Per-class dense counts round independently, so their sum can exceed
+    the (separately rounded) total ``nnz`` by up to half a count per
+    class — which used to surface as ``dense_fraction > 1.0`` while
+    ``sparse_nnz`` silently clamped to 0. The excess is shaved off the
+    largest classes (deterministically, ties broken by index) so
+    ``dense_nnz <= nnz`` and every fraction stays in [0, 1].
     """
-    dense_per_class = tuple(
+    dense_per_class = [
         int(round(v * nnz_scale)) for v in profile.dense_nnz_per_class
-    )
+    ]
     nnz = int(round(profile.nnz * nnz_scale))
+    excess = sum(dense_per_class) - nnz
+    while excess > 0 and dense_per_class:
+        # Bounded by ~len(classes)/2 rounding error, so the loop is short.
+        largest = max(range(len(dense_per_class)),
+                      key=lambda i: (dense_per_class[i], -i))
+        take = min(excess, dense_per_class[largest])
+        dense_per_class[largest] -= take
+        excess -= take
+        if take == 0:  # every class is already at zero: nnz itself is 0
+            break
+    dense_per_class = tuple(dense_per_class)
     sparse_nnz = max(0, nnz - sum(dense_per_class))
     return replace(
         profile,

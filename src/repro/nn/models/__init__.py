@@ -7,6 +7,7 @@ from repro.nn.models.gat import GAT, GATLayer
 from repro.nn.models.sage import GraphSAGE, SAGELayer, sample_neighbors
 from repro.nn.models.resgcn import ResGCN
 
+from repro.errors import invalid_value_error
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike
 
@@ -32,6 +33,13 @@ def build_model(
     arch = arch.lower()
     in_dim = graph.num_features
     out_dim = graph.num_classes
+    if hidden_dim is not None and hidden_dim <= 0:
+        # `hidden_dim or default` would silently swap 0 for the paper
+        # width; an explicit non-positive width is a config mistake.
+        raise invalid_value_error(
+            "hidden_dim", hidden_dim,
+            "a positive hidden width, or None for the paper default",
+        )
     hidden = hidden_dim or hidden_dim_for(graph.name)
     if arch == "gcn":
         return GCN(in_dim, hidden, out_dim, num_layers=num_layers or 2, rng=rng)

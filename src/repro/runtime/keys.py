@@ -34,7 +34,10 @@ from typing import Any, Dict, Optional, Tuple
 #: point key a tech_node component), SweepPointResult gained
 #: `tech_node`/`area_mm2`/`tdp_w`, so stored sweep artifacts changed
 #: meaning and layout.
-CODE_SCHEMA_VERSION = 4
+#: v5: workload DAGs — SweepPoint gained `workload`/`workload_scales`
+#: (and the point key matching components), so a multi-model point and
+#: the single-model point sharing its primary node can never collide.
+CODE_SCHEMA_VERSION = 5
 
 #: Artifact kinds the store recognises (one subdirectory per kind).
 KIND_GRAPH = "graph"
@@ -106,6 +109,16 @@ KEY_FIELD_COVERAGE = {
     "SweepSpec": {
         "covered": ("axes",),
         "exempt": ("name", "title", "description"),
+    },
+    # Every SweepPoint field reaches sweep_point_key — the whole point of
+    # the dataclass is to be the digest's input, so nothing is exempt.
+    "SweepPoint": {
+        "covered": (
+            "dataset", "arch", "scale", "seed", "profile",
+            "config", "kernel_backend", "bits", "hw_scale",
+            "tech_node", "axes", "workload", "workload_scales",
+        ),
+        "exempt": (),
     },
 }
 
@@ -232,6 +245,8 @@ def sweep_point_key(
     hw_scale: float,
     tech_node: int,
     axes: Dict[str, Any],
+    workload: Optional[str] = None,
+    workload_scales: Any = (),
 ) -> ArtifactKey:
     """Key for one evaluated design point of a ``repro sweep``.
 
@@ -240,7 +255,11 @@ def sweep_point_key(
     :func:`gcod_key`), the platform variant (``bits``, ``hw_scale``,
     ``tech_node``) — plus the raw axis values, because two points may
     share a resolved config (e.g. ``S`` clamped up to ``C``) while
-    reporting different coordinates.
+    reporting different coordinates. Multi-model points additionally
+    carry the canonical workload-DAG shorthand and the per-dataset
+    generation scales every node trained at — without the scales, two
+    contexts generating ``citeseer`` at different sizes would collide on
+    the key minted from the primary node alone.
     """
     backend = _resolve_backend_name(kernel_backend)
     config_payload = jsonable(config)
@@ -261,6 +280,8 @@ def sweep_point_key(
         hw_scale=float(hw_scale),
         tech_node=int(tech_node),
         axes=dict(sorted(axes.items())),
+        workload=workload,
+        workload_scales=dict(sorted(dict(workload_scales).items())),
     )
 
 

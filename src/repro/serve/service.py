@@ -182,27 +182,35 @@ class InferenceService:
         key, ctx = self._resolve(req)
         dataset, arch, backend = key
 
+        # Miss/hit counters (and the shared batch-size box) must reflect
+        # only *committed* responses: every await below can raise, and a
+        # failed query is reported through `errors`, not as a served miss.
         inflight = self._inflight.get(key)
         if inflight is not None:
-            # A dispatch for this key is already training: ride it.
+            # A dispatch for this key is already training: ride it. The
+            # size box is bumped before the await so every member of the
+            # dispatch reports the same final batch size, and rolled
+            # back if this request never becomes a response.
+            inflight.size_box[0] += 1
+            try:
+                summary = await asyncio.shield(inflight.done)
+            except BaseException:
+                inflight.size_box[0] -= 1
+                raise
             self.stats["cold_misses"] += 1
             self.stats["coalesced_requests"] += 1
-            inflight.size_box[0] += 1
-            summary = await asyncio.shield(inflight.done)
             return self._ok(req, key, SOURCE_COLD, summary,
                             inflight.batch_id, inflight.size_box)
 
         if ctx.has_gcod(dataset, arch):
-            self.stats["warm_hits"] += 1
             loop = asyncio.get_running_loop()
             summary = await loop.run_in_executor(
                 self._executor, self._warm_summary, ctx, dataset, arch
             )
+            self.stats["warm_hits"] += 1
             return self._ok(req, key, SOURCE_WARM, summary, -1, None)
 
         # Cold: enter (or open) the micro-batch window for this key.
-        self.stats["cold_misses"] += 1
-        self.stats["batched_requests"] += 1
         loop = asyncio.get_running_loop()
         batch = self._batches.get(key)
         if batch is None:
@@ -218,7 +226,13 @@ class InferenceService:
         batch.size_box[0] += 1
         if len(batch.waiters) >= self.settings.max_batch:
             self._flush(key, batch)
-        summary = await asyncio.shield(waiter)
+        try:
+            summary = await asyncio.shield(waiter)
+        except BaseException:
+            batch.size_box[0] -= 1
+            raise
+        self.stats["cold_misses"] += 1
+        self.stats["batched_requests"] += 1
         return self._ok(req, key, SOURCE_COLD, summary,
                         batch.batch_id, batch.size_box)
 

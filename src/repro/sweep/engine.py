@@ -178,8 +178,11 @@ def plan_sweep(context, spec: SweepSpec) -> SweepPlan:
     for i, point in enumerate(points):
         if i in cached_set:
             continue  # its metrics are stored; no training needed
-        task = point.gcod_task()
-        deps.setdefault(task.key().digest, task)
+        for task in point.gcod_tasks():
+            # every node of a workload-DAG point is a dependency; the
+            # primary node's task digests identically to the legacy
+            # single-model task, so mixed grids share training runs.
+            deps.setdefault(task.key().digest, task)
     tasks = [
         task for digest, task in deps.items()
         if store is None or not store.contains(task.key())
@@ -289,12 +292,13 @@ class _PointEvaluator:
         return result
 
     @staticmethod
-    def _simulate_aggregation(workload, result, platform):
+    def _simulate_aggregation(workload, result, total_pes: int):
         """Event-sim the aggregation schedule of the point's own layout.
 
         The tiles are the layout's measured per-subgraph workloads —
         per-tile DMA/MAC accounting, not the analytic closed form — run at
-        the PE count the ``bits``/``hw_scale`` axes selected.
+        the PE count the ``bits``/``hw_scale`` axes selected (or, for a
+        workload-DAG node, its allocated slice of the shared array).
         """
         from repro.hardware.event_sim import simulate_aggregation
 
@@ -312,8 +316,143 @@ class _PointEvaluator:
         return simulate_aggregation(
             workload,
             agg_dim=agg_dim,
-            total_pes=platform.pes.num_pes,
+            total_pes=total_pes,
             layout_tiles=(sub_workloads, sub_classes),
+        )
+
+    def _evaluate_workload_point(self, point: SweepPoint) -> SweepPointResult:
+        """Metrics for a workload-DAG point (shared-accelerator merge).
+
+        Per-node extraction goes through the same store-backed
+        :meth:`_gcod_result` path the single-model grid uses (the primary
+        node digests identically, so artifacts are shared); the staged
+        pipeline merges the node reports with PE time-slicing. Baselines
+        run every distinct (dataset, arch) pair serially on the
+        monolithic AWB-GCN/HyGCN platforms — the multi-tenant framing:
+        one shared GCoD accelerator vs a baseline running the models back
+        to back. Every reduction below is a float identity for a
+        single-node DAG (``sum([x]) == x``), keeping byte parity with
+        the legacy path.
+        """
+        import dataclasses
+
+        from repro.hardware import extract_workload
+        from repro.hardware.pipeline import (
+            PipelineSettings,
+            evaluate_workload,
+            parse_workload,
+            slice_workload,
+        )
+
+        graph = parse_workload(point.workload)
+        scales = dict(point.workload_scales)
+        gcod_results: Dict[Tuple[str, str], Any] = {}
+        full_workloads: Dict[Tuple[str, str], Any] = {}
+
+        def pair_result(dataset: str, arch: str):
+            pair = (dataset, arch)
+            if pair not in gcod_results:
+                node_point = dataclasses.replace(
+                    point, dataset=dataset, arch=arch,
+                    scale=scales.get(dataset, point.scale),
+                )
+                gcod_results[pair] = self._gcod_result(node_point)
+            return gcod_results[pair]
+
+        def extract_fn(node, _context):
+            pair = (node.dataset, node.arch)
+            if pair not in full_workloads:
+                result = pair_result(node.dataset, node.arch)
+                full_workloads[pair] = extract_workload(
+                    result.final_graph, result.layout, node.arch,
+                    paper_scale=True,
+                )
+            return full_workloads[pair]
+
+        settings = PipelineSettings(
+            bits=point.bits,
+            hw_scale=point.hw_scale,
+            tech_node=point.tech_node,
+            extract_fn=extract_fn,
+        )
+        wg_report = evaluate_workload(graph, self.context, settings)
+        merged = wg_report.merged()
+
+        pairs = list(dict.fromkeys(
+            (n.dataset, n.arch) for n in graph.nodes
+        ))
+        baselines = [
+            self._baseline_reports(ds, arch, point.seed)
+            for ds, arch in pairs
+        ]
+        awb_latency = sum(awb.latency_s for awb, _ in baselines)
+        hygcn_streamed = sum(h.streamed_bytes for _, h in baselines)
+        hygcn_latency = sum(h.latency_s for _, h in baselines)
+        hygcn_bw = hygcn_streamed / max(hygcn_latency, 1e-30) / 1e9
+
+        speedup = awb_latency / merged.latency_s
+        bw_red = 1.0 - merged.required_bandwidth_gbps / max(hygcn_bw, 1e-9)
+        accuracy = sum(
+            float(pair_result(ds, arch).accuracy_final)
+            for ds, arch in pairs
+        ) / len(pairs)
+        balance = sum(
+            float(r.layout.balance_within_classes(r.final_graph.adj))
+            for r in (pair_result(ds, arch) for ds, arch in pairs)
+        ) / len(pairs)
+
+        # Event-sim each node's aggregation at its allocated PE slice;
+        # cycles sum, utilization is the cycle-weighted mean.
+        node_pes = dict(wg_report.node_pes)
+        sims = []
+        for node in graph.nodes:
+            wl = slice_workload(extract_fn(node, self.context), node)
+            sim = self._simulate_aggregation(
+                wl, pair_result(node.dataset, node.arch),
+                node_pes[node.name],
+            )
+            if sim is not None:
+                sims.append(sim)
+        sim_cycles = sum(float(s.cycles) for s in sims)
+        if len(sims) == 1:
+            dma_util = float(sims[0].dma_utilization)
+        elif sim_cycles > 0:
+            dma_util = sum(
+                float(s.cycles) * float(s.dma_utilization) for s in sims
+            ) / sim_cycles
+        else:
+            dma_util = 0.0
+
+        budget = self._gcod_platform(
+            point.bits, point.hw_scale, point.tech_node
+        ).budget()
+        return SweepPointResult(
+            axes=point.axes,
+            dataset=point.dataset,
+            arch=point.arch,
+            num_classes=point.config.num_classes,
+            num_subgraphs=point.config.num_subgraphs,
+            prune_ratio=point.config.prune_ratio,
+            bits=point.bits,
+            hw_scale=point.hw_scale,
+            tech_node=point.tech_node,
+            kernel_backend=point.kernel_backend,
+            speedup_vs_awb=float(speedup),
+            bw_reduction_vs_hygcn=float(bw_red),
+            accuracy=float(accuracy),
+            balance=float(balance),
+            gcod_latency_s=float(merged.latency_s),
+            awb_latency_s=float(awb_latency),
+            gcod_required_bw_gbps=float(merged.required_bandwidth_gbps),
+            hygcn_required_bw_gbps=float(hygcn_bw),
+            gcod_energy_j=float(merged.energy.total_j),
+            gcod_dram_bytes=float(merged.offchip_bytes),
+            area_mm2=float(budget.area_mm2),
+            tdp_w=float(budget.tdp_w),
+            comb_energy=merged.combination.energy,
+            agg_energy=merged.aggregation.energy,
+            agg_sim_cycles=sim_cycles,
+            agg_dma_utilization=dma_util,
         )
 
     def evaluate(self, point: SweepPoint) -> SweepPointResult:
@@ -321,6 +460,8 @@ class _PointEvaluator:
         from repro.hardware import extract_workload
 
         counters.record_sweep_point_run()
+        if point.workload is not None:
+            return self._evaluate_workload_point(point)
         awb, hygcn = self._baseline_reports(
             point.dataset, point.arch, point.seed
         )
@@ -333,7 +474,7 @@ class _PointEvaluator:
         )
         report = platform.run(wl)
         budget = platform.budget()
-        sim = self._simulate_aggregation(wl, result, platform)
+        sim = self._simulate_aggregation(wl, result, platform.pes.num_pes)
         speedup = awb.latency_s / report.latency_s
         bw_red = 1.0 - report.required_bandwidth_gbps / max(
             hygcn.required_bandwidth_gbps, 1e-9
@@ -451,7 +592,12 @@ def _evaluate_points_pooled(
     # means the same dataset exists at several generation seeds.
     prewarmer = _PointEvaluator(context)
     for dataset, seed in dict.fromkeys(
-        (plan.points[i].dataset, plan.points[i].seed) for i in pending
+        (ds, plan.points[i].seed)
+        for i in pending
+        for ds in dict.fromkeys(
+            [plan.points[i].dataset]
+            + [d for d, _ in plan.points[i].workload_scales]
+        )
     ):
         prewarmer._graph(dataset, seed)
     payloads = [

@@ -64,12 +64,34 @@ class AxisDef:
         return out
 
 
+def _canonical_workload(value: Any) -> str:
+    """Coerce a workload-axis value to its canonical DAG shorthand.
+
+    Parsing validates eagerly (datasets, archs, layer ranges, shares) and
+    re-serializing normalizes spelling, so ``"Cora/GCN + citeseer/gat"``
+    and ``"cora/gcn+citeseer/gat"`` coerce to the same axis value and
+    therefore the same cache keys. ``ConfigError`` from the parser
+    propagates as-is (``AxisDef.coerce`` only rewraps Type/ValueError).
+    """
+    from repro.hardware.pipeline import parse_workload
+
+    if not isinstance(value, str):
+        raise TypeError(f"workload axis wants a shorthand string, "
+                        f"got {type(value).__name__}")
+    return parse_workload(value).to_shorthand()
+
+
 #: The sweepable axes, in canonical declaration order.
 AXES: Dict[str, AxisDef] = {
     a.name: a
     for a in (
         AxisDef("dataset", str, "a dataset name from DATASET_SPECS"),
         AxisDef("arch", str, "a model architecture (gcn, gin, gat, ...)"),
+        AxisDef(
+            "workload",
+            _canonical_workload,
+            "a workload DAG shorthand like 'cora/gcn+citeseer/gat'",
+        ),
         AxisDef("C", int, "number of degree classes, >= 1",
                 lambda v: v >= 1),
         AxisDef("S", int, "number of subgraphs, >= 1", lambda v: v >= 1),
@@ -179,6 +201,14 @@ class SweepPoint:
     hw_scale: float
     tech_node: int
     axes: Tuple[Tuple[str, Any], ...]
+    #: canonical workload-DAG shorthand for multi-model points (``None``
+    #: for the classic single-model grid); ``dataset``/``arch`` then hold
+    #: the DAG's *primary* (first-declared) node.
+    workload: Optional[str] = None
+    #: per-dataset generation scales every DAG node trained at, sorted by
+    #: dataset — baked at expand time so the cache key covers the sizes
+    #: of *all* node graphs, not just the primary's.
+    workload_scales: Tuple[Tuple[str, Optional[float]], ...] = ()
 
     def key(self) -> ArtifactKey:
         return sweep_point_key(
@@ -193,6 +223,8 @@ class SweepPoint:
             self.hw_scale,
             self.tech_node,
             dict(self.axes),
+            workload=self.workload,
+            workload_scales=self.workload_scales,
         )
 
     def gcod_task(self) -> GCoDTask:
@@ -206,6 +238,37 @@ class SweepPoint:
             kernel_backend=self.kernel_backend,
             config=self.config,
         )
+
+    def gcod_tasks(self) -> List[GCoDTask]:
+        """Every training run this point depends on, primary first.
+
+        A single-model point needs exactly :meth:`gcod_task`. A
+        workload-DAG point needs one run per distinct (dataset, arch)
+        node pair; all nodes train under the point's resolved config
+        (the documented simplification — per-node hyper-parameter
+        overrides would fork the config per task), so a DAG node naming
+        the primary pair digests identically to the legacy task and
+        shares its stored artifact.
+        """
+        tasks = [self.gcod_task()]
+        if self.workload is None:
+            return tasks
+        from repro.hardware.pipeline import parse_workload
+
+        scales = dict(self.workload_scales)
+        seen = {(self.dataset, self.arch)}
+        for node in parse_workload(self.workload).nodes:
+            pair = (node.dataset, node.arch)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            tasks.append(replace(
+                tasks[0],
+                dataset=node.dataset,
+                arch=node.arch,
+                scale=scales.get(node.dataset, self.scale),
+            ))
+        return tasks
 
     def label(self) -> str:
         return ", ".join(f"{k}={v}" for k, v in self.axes)
@@ -284,6 +347,15 @@ def expand(spec: SweepSpec, context) -> List[SweepPoint]:
     from repro.nn.models import MODEL_ARCHS
     from repro.errors import UnknownDatasetError
 
+    if "workload" in spec.axis_names:
+        clash = sorted({"dataset", "arch"} & set(spec.axis_names))
+        if clash:
+            raise ConfigError(
+                f"the 'workload' axis already names each node's dataset "
+                f"and arch; drop the {', '.join(repr(c) for c in clash)} "
+                f"axis"
+            )
+
     for name, values in spec.axes:
         if name == "dataset":
             for ds in values:
@@ -310,8 +382,23 @@ def expand(spec: SweepSpec, context) -> List[SweepPoint]:
             for name, v in zip(names, combo)
         )
         coords = dict(zip(names, combo))
-        dataset = coords.get("dataset", "cora")
-        arch = coords.get("arch", "gcn")
+        workload = coords.get("workload")
+        workload_scales: Tuple[Tuple[str, Optional[float]], ...] = ()
+        if workload is not None:
+            # The DAG's first-declared node is the point's primary
+            # (dataset, arch); the scales of *every* node dataset are
+            # baked in so the cache key covers all the node graphs.
+            from repro.hardware.pipeline import parse_workload
+
+            nodes = parse_workload(workload).nodes
+            dataset, arch = nodes[0].dataset, nodes[0].arch
+            workload_scales = tuple(sorted(
+                (ds, context.scale_for(ds))
+                for ds in {n.dataset for n in nodes}
+            ))
+        else:
+            dataset = coords.get("dataset", "cora")
+            arch = coords.get("arch", "gcn")
         config, backend = _point_config(context, arch, coords)
         points.append(
             SweepPoint(
@@ -326,6 +413,8 @@ def expand(spec: SweepSpec, context) -> List[SweepPoint]:
                 hw_scale=float(coords.get("hw_scale", 1.0)),
                 tech_node=coords.get("tech_node", 16),
                 axes=tuple(zip(names, combo)),
+                workload=workload,
+                workload_scales=workload_scales,
             )
         )
     return points

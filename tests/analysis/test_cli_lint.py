@@ -129,8 +129,8 @@ def test_write_golden_refreshes_then_lints(scratch_tree, capsys):
     )
     rewrite(
         scratch_tree / "runtime" / "keys.py",
-        "CODE_SCHEMA_VERSION = 4",
         "CODE_SCHEMA_VERSION = 5",
+        "CODE_SCHEMA_VERSION = 6",
     )
     # stale golden: fails without the refresh ...
     code, out, _ = run_cli(["lint", str(scratch_tree)], capsys)
@@ -144,7 +144,7 @@ def test_write_golden_refreshes_then_lints(scratch_tree, capsys):
     golden = json.loads(
         (scratch_tree / "analysis" / "schema_golden.json").read_text()
     )
-    assert golden["schema_version"] == 5
+    assert golden["schema_version"] == 6
 
 
 def test_lint_help_lists_rules():

@@ -18,7 +18,8 @@ def test_parser_knows_all_commands():
 def test_experiment_registry_matches_modules():
     assert {"fig04", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
             "tab05", "tab06", "tab07", "ablation-cs", "ablation-design",
-            "training-cost", "reordering"} == set(EXPERIMENTS)
+            "training-cost", "reordering",
+            "multi-tenant"} == set(EXPERIMENTS)
 
 
 def test_cli_static_experiment(capsys):
@@ -43,7 +44,7 @@ def test_report_sections_come_from_registry():
     from repro.runtime.registry import all_experiments
 
     specs = all_experiments()
-    assert len(specs) == 14
+    assert len(specs) == 15
     titles = [s.title for s in specs]
     assert any("Tab. VI" in t for t in titles)
     assert any("Fig. 11" in t for t in titles)

@@ -59,7 +59,7 @@ def test_typo_axis_exits_2_with_known_axes(capsys):
     assert code == 2
     assert "unknown sweep axis 'c'" in err
     assert "did you mean 'C'?" in err
-    assert "dataset, arch, C, S, sparsity, bits, kernel_backend, hw_scale" \
+    assert "dataset, arch, workload, C, S, sparsity, bits, kernel_backend, " \
         in err
 
     code, _, err = run_cli(["sweep", "--grid", "C=1;hwscale=2"], capsys)

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
+from repro.errors import ConfigError
 from repro.hardware import adjacency_profile, extract_workload, layer_specs
 from repro.hardware.workload import LayerSpec
 
@@ -96,6 +98,41 @@ def test_paper_scale_uses_meta(small_graph, partitioned):
 def test_layout_comes_from_meta(gcod_result):
     wl = extract_workload(gcod_result.final_graph, None, "gcn")
     assert wl.adjacency.num_classes == gcod_result.layout.num_classes
+
+
+def test_explicit_zero_hidden_rejected(partitioned):
+    # `hidden or default` used to swap 0 for the dataset default; an
+    # explicit non-positive width must fail in the AxisDef.coerce format.
+    graph, layout = partitioned
+    with pytest.raises(ConfigError,
+                       match=r"hidden: invalid value 0 of type int"):
+        extract_workload(graph, layout, "gcn", hidden=0)
+    with pytest.raises(ConfigError,
+                       match=r"hidden: invalid value -4 of type int"):
+        extract_workload(graph, layout, "gcn", hidden=-4)
+    # None still means "the dataset default"
+    assert extract_workload(graph, layout, "gcn",
+                            hidden=None).layers[0].f_out > 0
+
+
+def test_build_model_rejects_zero_hidden_dim(tiny_graph):
+    from repro.nn.models import build_model
+
+    with pytest.raises(ConfigError,
+                       match=r"hidden_dim: invalid value 0 of type int"):
+        build_model("gcn", tiny_graph, hidden_dim=0)
+
+
+def test_layout_branch_skip_fraction_measures_the_sparser_split(
+        partitioned):
+    # The structural-sparsity skip only applies to the sparser branch, so
+    # the empty-column count must come from the split's remainder — not
+    # the full matrix (whose CSC the layout branch no longer builds).
+    graph, layout = partitioned
+    profile = adjacency_profile(graph.adj, layout)
+    _, sparse = layout.split(sp.csr_matrix(graph.adj))
+    empty = int((np.diff(sp.csc_matrix(sparse).indptr) == 0).sum())
+    assert profile.skipped_col_fraction == empty / graph.num_nodes
 
 
 def test_feature_bytes(partitioned):

@@ -1,0 +1,68 @@
+"""Property tier for paper-scale rescaling (needs ``hypothesis``).
+
+The invariant `_rescale_profile` must hold for *every* profile and scale
+pair: per-class dense counts round independently, so without the excess
+shave their sum can beat the rounded total — which used to surface as
+``dense_fraction > 1.0`` while ``sparse_nnz`` silently clamped to 0.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.hardware.workload import (  # noqa: E402
+    AdjacencyProfile,
+    _rescale_profile,
+)
+
+
+@st.composite
+def profiles(draw):
+    """Consistent measured profiles: dense per-class counts + remainder."""
+    per_class = tuple(draw(st.lists(st.integers(0, 5000),
+                                    min_size=0, max_size=8)))
+    sparse = draw(st.integers(0, 5000))
+    nnz = sum(per_class) + sparse
+    n = draw(st.integers(1, 100_000))
+    return AdjacencyProfile(
+        num_nodes=n,
+        nnz=nnz,
+        dense_nnz_per_class=per_class,
+        sparse_nnz=sparse,
+        class_balance=draw(st.floats(0.0, 1.0)),
+        num_subgraphs=max(1, len(per_class)),
+        max_subgraph_nodes=n,
+        skipped_col_fraction=draw(st.floats(0.0, 1.0)),
+        coo_bytes=nnz * 12,
+        csc_bytes=sparse * 8,
+        num_classes=max(1, len(per_class)),
+    )
+
+
+scales = st.floats(min_value=1e-3, max_value=1e3,
+                   allow_nan=False, allow_infinity=False)
+
+
+@settings(deadline=None)
+@given(profiles(), scales, scales)
+def test_rescale_keeps_every_fraction_in_unit_interval(
+        profile, node_scale, nnz_scale):
+    scaled = _rescale_profile(profile, node_scale, nnz_scale)
+    assert scaled.nnz >= 0
+    assert scaled.sparse_nnz >= 0
+    assert all(v >= 0 for v in scaled.dense_nnz_per_class)
+    # the split stays a partition of the rescaled total
+    assert scaled.dense_nnz + scaled.sparse_nnz == scaled.nnz
+    assert 0.0 <= scaled.dense_fraction <= 1.0
+
+
+@settings(deadline=None)
+@given(profiles())
+def test_rescale_identity_at_unit_scale(profile):
+    scaled = _rescale_profile(profile, 1.0, 1.0)
+    assert scaled.nnz == profile.nnz
+    assert scaled.dense_nnz == profile.dense_nnz
+    assert scaled.sparse_nnz == profile.sparse_nnz
+    assert scaled.num_nodes == profile.num_nodes

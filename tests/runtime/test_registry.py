@@ -13,7 +13,7 @@ from repro.runtime.registry import (
 EXPECTED = {
     "fig04", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04", "tab05",
     "tab06", "tab07", "ablation-cs", "ablation-design", "training-cost",
-    "reordering",
+    "reordering", "multi-tenant",
 }
 
 

@@ -107,6 +107,45 @@ def test_unknown_dataset_errors_but_server_survives(client):
     assert client.query("cora").status == "ok"
 
 
+def test_failed_query_counts_as_error_not_miss(client):
+    """A failing dispatch is an `errors`, never a served hit/miss.
+
+    The miss counters (and batch sizes) used to be bumped before the
+    query could still fail, so every error also over-reported a miss.
+    """
+    with pytest.raises(Exception, match="unknown dataset"):
+        client.query("no-such-dataset")
+    stats = client.stats()
+    assert stats["errors"] == 1
+    assert stats["cold_misses"] == 0
+    assert stats["warm_hits"] == 0
+    assert stats["batched_requests"] == 0
+    assert stats["coalesced_requests"] == 0
+
+    # A real served miss still counts exactly once after the failure.
+    assert client.query("cora").source == "cold"
+    stats = client.stats()
+    assert stats["errors"] == 1
+    assert stats["cold_misses"] == 1
+    assert stats["batched_requests"] == 1
+
+
+def test_failed_pipelined_queries_count_only_errors(client):
+    """Racing requests that all fail report errors only: no coalesced or
+    batched requests survive in the stats, and later successful batches
+    still report their true size."""
+    responses = client.query_many([("no-such-dataset", "gcn")] * 3)
+    assert {r.status for r in responses} == {"error"}
+    stats = client.stats()
+    assert stats["errors"] == 3
+    assert stats["cold_misses"] == 0
+    assert stats["batched_requests"] == 0
+    assert stats["coalesced_requests"] == 0
+
+    responses = client.query_many([("cora", "gcn")] * 2)
+    assert {r.batch_size for r in responses} == {2}
+
+
 def test_malformed_line_gets_error_response(server):
     import socket
 

@@ -53,7 +53,7 @@ def test_unknown_axis_error_suggests_near_miss():
     with pytest.raises(ConfigError, match=r"did you mean 'dataset'\?"):
         SweepSpec(name="t", title="t", axes={"DATASET": ("cora",)})
     # hopeless typos still list every known axis, without a bogus guess
-    with pytest.raises(ConfigError, match="choose from dataset, arch, C"):
+    with pytest.raises(ConfigError, match="choose from dataset, arch, workload, C"):
         parse_grid("zzz=1")
 
 
